@@ -1,0 +1,170 @@
+package elites
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end exactly as README
+// documents it — platform → dataset → characterization → render — plus the
+// persistence round trip. Implementation details are covered by the
+// internal package suites.
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := DefaultPlatformConfig(1500)
+	cfg.Seed = 42
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset := DatasetFromPlatform(platform)
+	if dataset.Graph.NumNodes() == 0 || len(dataset.Profiles) != dataset.Graph.NumNodes() {
+		t.Fatal("dataset malformed")
+	}
+
+	r := Reciprocity(dataset.Graph)
+	if r < 0.25 || r > 0.45 {
+		t.Fatalf("reciprocity = %v", r)
+	}
+	if c := AverageLocalClustering(dataset.Graph); c <= 0 {
+		t.Fatalf("clustering = %v", c)
+	}
+
+	activity := platform.ActivitySeries(platform.EnglishNodes())
+	opts := Options{SkipBootstrap: true, SkipEigen: true, SkipBetweenness: true,
+		DistanceSources: 50, Seed: 1}
+	report, err := NewCharacterizer(opts).Run(dataset, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	report.Render(&sb)
+	if !strings.Contains(sb.String(), "Reciprocity") {
+		t.Fatal("render incomplete")
+	}
+	RenderReport(&sb, report) // alias form
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	v, err := GenerateVerified(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := GenerateTwitter(2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Reciprocity(v.Graph) <= Reciprocity(tw.Graph) {
+		t.Fatal("verified reciprocity must exceed generic")
+	}
+	if g := ErdosRenyi(100, 0.05, 3); g.NumNodes() != 100 {
+		t.Fatal("ER")
+	}
+	if g := BarabasiAlbert(100, 2, 0.2, 4); g.NumNodes() != 100 {
+		t.Fatal("BA")
+	}
+	if g := WattsStrogatz(100, 4, 0.1, 5); g.NumEdges() == 0 {
+		t.Fatal("WS")
+	}
+}
+
+func TestPublicAPICrawlAndPersist(t *testing.T) {
+	cfg := DefaultPlatformConfig(600)
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Crawl(NewAPI(platform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	activity := platform.ActivitySeries(platform.EnglishNodes())
+	if err := SaveDataset(dir, ds, activity, StoreMeta{Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	ds2, act2, meta, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Graph.NumEdges() != ds.Graph.NumEdges() || act2.Len() != activity.Len() {
+		t.Fatal("persistence round trip broken")
+	}
+	if meta.Tool != "test" {
+		t.Fatal("meta lost")
+	}
+}
+
+func TestPublicAPIStatistics(t *testing.T) {
+	rng := NewRNG(7)
+	// Power law.
+	data := make([]int, 3000)
+	for i := range data {
+		data[i] = int(rng.Pareto(5, 2.8))
+	}
+	fit, err := FitPowerLawDiscrete(data, &PowerLawOptions{FixedXmin: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2.8) > 0.3 {
+		t.Fatalf("alpha = %v", fit.Alpha)
+	}
+	// ADF on a random walk must not reject.
+	walk := make([]float64, 300)
+	for i := 1; i < len(walk); i++ {
+		walk[i] = walk[i-1] + rng.Normal()
+	}
+	adf, err := ADF(walk, RegConstant, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adf.PValue < 0.01 {
+		t.Fatalf("random walk rejected with p=%v", adf.PValue)
+	}
+	// PELT on planted shift.
+	x := make([]float64, 200)
+	for i := range x {
+		if i >= 100 {
+			x[i] = 8
+		}
+		x[i] += rng.Normal()
+	}
+	cps := PELT(x, 3*math.Log(200), 5)
+	if len(cps) != 1 || cps[0] < 95 || cps[0] > 105 {
+		t.Fatalf("cps = %v", cps)
+	}
+	// Spline.
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) / 20
+		ys[i] = 2 * xs[i]
+	}
+	sp, err := FitSpline(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Eval(5)-10) > 0.1 {
+		t.Fatalf("spline eval = %v", sp.Eval(5))
+	}
+}
+
+func TestPublicAPIFingerprint(t *testing.T) {
+	v, _ := GenerateVerified(2000, 9)
+	rng := NewRNG(1)
+	fp := ComputeFingerprint(v.Graph, 0, rng)
+	if fp.VerifiedLikeness() < 0.6 {
+		t.Fatalf("verified graph likeness = %v", fp.VerifiedLikeness())
+	}
+	if PaperVerifiedFingerprint().VerifiedLikeness() < 0.99 {
+		t.Fatal("paper fingerprint must score ~1")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	if Version == "" {
+		t.Fatal("version empty")
+	}
+}

@@ -1,0 +1,404 @@
+// Package centrality implements the node-importance measures used in the
+// paper's Figure 5 analysis: PageRank (power iteration with dangling-mass
+// redistribution), Brandes betweenness centrality (exact and source-sampled),
+// HITS hubs/authorities and closeness. All routines operate on the CSR
+// digraphs of internal/graph and are deterministic given their inputs.
+package centrality
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"elites/internal/graph"
+	"elites/internal/mathx"
+)
+
+// ErrBadParam flags out-of-range algorithm parameters.
+var ErrBadParam = errors.New("centrality: bad parameter")
+
+// PageRankOptions configures the power iteration.
+type PageRankOptions struct {
+	// Damping is the teleportation damping factor; 0.85 if zero.
+	Damping float64
+	// Tol is the L1 convergence tolerance; 1e-10 if zero.
+	Tol float64
+	// MaxIter bounds the iteration count; 200 if zero.
+	MaxIter int
+}
+
+func (o *PageRankOptions) defaults() PageRankOptions {
+	out := PageRankOptions{Damping: 0.85, Tol: 1e-10, MaxIter: 200}
+	if o == nil {
+		return out
+	}
+	if o.Damping != 0 {
+		out.Damping = o.Damping
+	}
+	if o.Tol != 0 {
+		out.Tol = o.Tol
+	}
+	if o.MaxIter != 0 {
+		out.MaxIter = o.MaxIter
+	}
+	return out
+}
+
+// PageRank computes the PageRank vector of g. The returned scores sum to 1.
+// Dangling nodes (zero out-degree — the paper's celebrity sinks) donate their
+// rank uniformly, the standard strongly-preferential handling.
+func PageRank(g *graph.Digraph, opts *PageRankOptions) ([]float64, error) {
+	o := opts.defaults()
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return nil, ErrBadParam
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	// Iterate on the reverse graph so each node pulls rank from its
+	// in-neighbors; contributions are rank[u]/outdeg[u].
+	rev := g.Reverse()
+	outDeg := g.OutDegrees()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	var dangling []int
+	for u := 0; u < n; u++ {
+		if outDeg[u] == 0 {
+			dangling = append(dangling, u)
+		}
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		danglingMass := 0.0
+		for _, u := range dangling {
+			danglingMass += rank[u]
+		}
+		base := (1-o.Damping)/float64(n) + o.Damping*danglingMass/float64(n)
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for _, u := range rev.OutNeighbors(v) {
+				s += rank[u] / float64(outDeg[u])
+			}
+			next[v] = base + o.Damping*s
+		}
+		delta := 0.0
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < o.Tol {
+			break
+		}
+	}
+	return rank, nil
+}
+
+// PersonalizedPageRank computes PageRank with teleportation restricted to
+// the given seed set (uniform over seeds). Used by the crawl example to rank
+// proximity to the verified core.
+func PersonalizedPageRank(g *graph.Digraph, seeds []int, opts *PageRankOptions) ([]float64, error) {
+	o := opts.defaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	if len(seeds) == 0 {
+		return nil, ErrBadParam
+	}
+	tele := make([]float64, n)
+	for _, s := range seeds {
+		if s < 0 || s >= n {
+			return nil, graph.ErrNodeRange
+		}
+		tele[s] += 1 / float64(len(seeds))
+	}
+	rev := g.Reverse()
+	outDeg := g.OutDegrees()
+	rank := make([]float64, n)
+	copy(rank, tele)
+	next := make([]float64, n)
+	var dangling []int
+	for u := 0; u < n; u++ {
+		if outDeg[u] == 0 {
+			dangling = append(dangling, u)
+		}
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		danglingMass := 0.0
+		for _, u := range dangling {
+			danglingMass += rank[u]
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for _, u := range rev.OutNeighbors(v) {
+				s += rank[u] / float64(outDeg[u])
+			}
+			nv := (1-o.Damping)*tele[v] + o.Damping*(s+danglingMass*tele[v])
+			delta += math.Abs(nv - rank[v])
+			next[v] = nv
+		}
+		rank, next = next, rank
+		if delta < o.Tol {
+			break
+		}
+	}
+	return rank, nil
+}
+
+// HITSResult holds hub and authority scores (each L2-normalized).
+type HITSResult struct {
+	Hubs        []float64
+	Authorities []float64
+	Iterations  int
+}
+
+// HITS runs the Kleinberg hubs-and-authorities iteration to the given
+// tolerance (L1 change in both vectors).
+func HITS(g *graph.Digraph, maxIter int, tol float64) *HITSResult {
+	n := g.NumNodes()
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	hubs := make([]float64, n)
+	auth := make([]float64, n)
+	for i := range hubs {
+		hubs[i] = 1
+		auth[i] = 1
+	}
+	rev := g.Reverse()
+	newAuth := make([]float64, n)
+	newHubs := make([]float64, n)
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// auth(v) = Σ_{u→v} hub(u)
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for _, u := range rev.OutNeighbors(v) {
+				s += hubs[u]
+			}
+			newAuth[v] = s
+		}
+		normalizeL2(newAuth)
+		// hub(u) = Σ_{u→v} auth(v)
+		for u := 0; u < n; u++ {
+			s := 0.0
+			for _, v := range g.OutNeighbors(u) {
+				s += newAuth[v]
+			}
+			newHubs[u] = s
+		}
+		normalizeL2(newHubs)
+		delta := 0.0
+		for i := range hubs {
+			delta += math.Abs(newHubs[i]-hubs[i]) + math.Abs(newAuth[i]-auth[i])
+		}
+		copy(hubs, newHubs)
+		copy(auth, newAuth)
+		if delta < tol {
+			break
+		}
+	}
+	return &HITSResult{Hubs: hubs, Authorities: auth, Iterations: iters}
+}
+
+func normalizeL2(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	s = math.Sqrt(s)
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// DegreeCentrality returns in- and out-degree centralities normalized by
+// (n-1).
+func DegreeCentrality(g *graph.Digraph) (in, out []float64) {
+	n := g.NumNodes()
+	in = make([]float64, n)
+	out = make([]float64, n)
+	if n < 2 {
+		return
+	}
+	norm := 1 / float64(n-1)
+	for v, d := range g.InDegrees() {
+		in[v] = float64(d) * norm
+	}
+	for v := 0; v < n; v++ {
+		out[v] = float64(g.OutDegree(v)) * norm
+	}
+	return
+}
+
+// Closeness computes sampled harmonic closeness centrality: for k random
+// "landmark" sources, each node's score is the mean of 1/d(landmark→node)
+// over landmarks that reach it, rescaled to [0,1]. With k >= n it is exact
+// harmonic closeness on the reversed distances.
+func Closeness(g *graph.Digraph, k int, rng *mathx.RNG) []float64 {
+	n := g.NumNodes()
+	scores := make([]float64, n)
+	if n == 0 {
+		return scores
+	}
+	var sources []int
+	if k >= n {
+		sources = make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+	} else {
+		sources = rng.Perm(n)[:k]
+	}
+	for _, s := range sources {
+		dist := graph.BFS(g, s)
+		for v, d := range dist {
+			if d > 0 {
+				scores[v] += 1 / float64(d)
+			}
+		}
+	}
+	for i := range scores {
+		scores[i] /= float64(len(sources))
+	}
+	return scores
+}
+
+// betweennessWorkspace holds the per-source scratch of Brandes' algorithm so
+// parallel workers do not allocate per BFS.
+type betweennessWorkspace struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []int32   // nodes in BFS visit order
+	preds [][]int32 // predecessor lists
+}
+
+func newBetweennessWorkspace(n int) *betweennessWorkspace {
+	return &betweennessWorkspace{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		order: make([]int32, 0, n),
+		preds: make([][]int32, n),
+	}
+}
+
+// accumulate runs a single Brandes source iteration, adding partial
+// dependencies into bc.
+func (w *betweennessWorkspace) accumulate(g *graph.Digraph, s int, bc []float64) {
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		w.dist[i] = -1
+		w.sigma[i] = 0
+		w.delta[i] = 0
+		w.preds[i] = w.preds[i][:0]
+	}
+	w.order = w.order[:0]
+	w.dist[s] = 0
+	w.sigma[s] = 1
+	queue := append(w.order, int32(s)) // reuse backing array as queue
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := w.dist[u]
+		for _, v := range g.OutNeighbors(int(u)) {
+			if w.dist[v] < 0 {
+				w.dist[v] = du + 1
+				queue = append(queue, v)
+			}
+			if w.dist[v] == du+1 {
+				w.sigma[v] += w.sigma[u]
+				w.preds[v] = append(w.preds[v], u)
+			}
+		}
+	}
+	w.order = queue
+	// Dependency accumulation in reverse BFS order.
+	for i := len(w.order) - 1; i >= 0; i-- {
+		v := w.order[i]
+		coef := (1 + w.delta[v]) / w.sigma[v]
+		for _, u := range w.preds[v] {
+			w.delta[u] += w.sigma[u] * coef
+		}
+		if int(v) != s {
+			bc[v] += w.delta[v]
+		}
+	}
+}
+
+// Betweenness computes exact betweenness centrality for all nodes with
+// Brandes' algorithm, parallelized over sources. Directed; scores are raw
+// dependency sums (no normalization), matching networkx's
+// betweenness_centrality(normalized=False).
+func Betweenness(g *graph.Digraph) []float64 {
+	n := g.NumNodes()
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	return betweennessFrom(g, sources, 1)
+}
+
+// ApproxBetweenness estimates betweenness from k uniformly sampled sources,
+// scaled by n/k so that values are comparable to the exact ones (Brandes &
+// Pich source sampling). Sampling error concentrates on low-betweenness
+// nodes; the paper's Figure 5 uses ranks of high-betweenness nodes, which
+// stabilize quickly (see BenchmarkAblationBetweennessSampling).
+func ApproxBetweenness(g *graph.Digraph, k int, rng *mathx.RNG) []float64 {
+	n := g.NumNodes()
+	if k >= n {
+		return Betweenness(g)
+	}
+	sources := rng.Perm(n)[:k]
+	return betweennessFrom(g, sources, float64(n)/float64(k))
+}
+
+func betweennessFrom(g *graph.Digraph, sources []int, scale float64) []float64 {
+	n := g.NumNodes()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := newBetweennessWorkspace(n)
+			bc := make([]float64, n)
+			for idx := w; idx < len(sources); idx += workers {
+				ws.accumulate(g, sources[idx], bc)
+			}
+			partials[w] = bc
+		}(w)
+	}
+	wg.Wait()
+	bc := make([]float64, n)
+	for _, p := range partials {
+		for i, v := range p {
+			bc[i] += v
+		}
+	}
+	if scale != 1 {
+		for i := range bc {
+			bc[i] *= scale
+		}
+	}
+	return bc
+}

@@ -1,0 +1,429 @@
+// Package core implements the paper's contribution as a library: a
+// characterization pipeline that runs the full battery of §IV network
+// analyses and §V activity analyses over a verified-user dataset and
+// produces a structured Report — dataset summary, degree and eigenvalue
+// power-law inference with alternatives, reciprocity, distance distribution,
+// bio n-gram tables, centrality correlations with GAM splines, and the
+// portmanteau / ADF / PELT verdicts — plus renderers that print each table
+// and figure in the paper's order, and a network-fingerprint comparator for
+// the verified-vs-generic contrast.
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"elites/internal/centrality"
+	"elites/internal/graph"
+	"elites/internal/mathx"
+	"elites/internal/powerlaw"
+	"elites/internal/spectral"
+	"elites/internal/stats"
+	"elites/internal/text"
+	"elites/internal/timeseries"
+	"elites/internal/twitter"
+)
+
+// ErrNoData is returned when the dataset has no graph.
+var ErrNoData = errors.New("core: dataset has no graph")
+
+// Options tunes the pipeline's sampled analyses. The zero value picks
+// defaults scaled to graphs of tens of thousands of nodes.
+type Options struct {
+	// DistanceSources is the number of BFS sources for the distance
+	// distribution (0 = 200; exact when >= number of nodes).
+	DistanceSources int
+	// BetweennessSources is the number of Brandes sources (0 = 256).
+	BetweennessSources int
+	// EigenK is how many top Laplacian eigenvalues to fit (0 = 150).
+	EigenK int
+	// EigenIters is the Lanczos Krylov dimension (0 = 3·EigenK).
+	EigenIters int
+	// BootstrapReps is the CSN goodness-of-fit replicate count (0 = 50).
+	BootstrapReps int
+	// TopNGrams is the table length for bios (0 = 15, the paper's).
+	TopNGrams int
+	// Seed drives all sampling.
+	Seed uint64
+	// SkipEigen skips the Laplacian eigenvalue analysis.
+	SkipEigen bool
+	// SkipBetweenness skips betweenness (the slowest analysis).
+	SkipBetweenness bool
+	// SkipBootstrap skips goodness-of-fit bootstraps.
+	SkipBootstrap bool
+	// SkipCategories skips the per-archetype table and the §IV-C
+	// mutual-core validation.
+	SkipCategories bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.DistanceSources == 0 {
+		o.DistanceSources = 200
+	}
+	if o.BetweennessSources == 0 {
+		o.BetweennessSources = 256
+	}
+	if o.EigenK == 0 {
+		o.EigenK = 150
+	}
+	if o.EigenIters == 0 {
+		o.EigenIters = 3 * o.EigenK
+	}
+	if o.BootstrapReps == 0 {
+		o.BootstrapReps = 50
+	}
+	if o.TopNGrams == 0 {
+		o.TopNGrams = 15
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// DatasetSummary mirrors the paper's §III table.
+type DatasetSummary struct {
+	Nodes         int
+	Edges         int64
+	Density       float64
+	Isolated      int
+	AvgOutDegree  float64
+	MaxOutDegree  int
+	MaxOutNode    int
+	GiantSCCSize  int
+	GiantSCCShare float64
+	NumSCCs       int
+	NumWCCs       int
+	TotalVerified int
+}
+
+// BasicAnalysis mirrors §IV-A.
+type BasicAnalysis struct {
+	Clustering           float64
+	Assortativity        float64
+	AttractingComponents int
+	// AttractingCores lists, for up to 10 largest attracting components,
+	// a representative member (high in-degree "celebrity" nodes).
+	AttractingCores []int
+}
+
+// PowerLawAnalysis mirrors §IV-B for one distribution.
+type PowerLawAnalysis struct {
+	Fit   *powerlaw.Fit
+	GoFP  float64 // bootstrap p-value; NaN if skipped
+	Vuong []*powerlaw.VuongResult
+}
+
+// CentralityPair is one Figure 5 panel: a correlation between an influence
+// measure and a network-centrality (or metric) score, with its spline.
+type CentralityPair struct {
+	Label    string
+	Pearson  float64 // on log-log scale
+	Spearman float64
+	PValue   float64 // Pearson t-test p-value
+	Curve    []stats.CurvePoint
+	N        int
+}
+
+// BioAnalysis mirrors §IV-E.
+type BioAnalysis struct {
+	TopUnigrams []text.NGram
+	TopBigrams  []text.NGram
+	TopTrigrams []text.NGram
+	Cloud       []text.CloudEntry
+}
+
+// ActivityAnalysis mirrors §V.
+type ActivityAnalysis struct {
+	Series         *timeseries.DailySeries
+	LjungBoxMaxP   float64
+	BoxPierceMaxP  float64
+	ADF            *timeseries.ADFResult
+	Changepoints   []timeseries.SweepCandidate
+	WeekdayMeans   [7]float64
+	SundayWeekday  float64 // Sunday mean / weekday mean
+	PortmanteauLag int
+}
+
+// Report bundles every analysis output.
+type Report struct {
+	Summary      DatasetSummary
+	Basic        BasicAnalysis
+	Degree       *PowerLawAnalysis
+	Eigen        *PowerLawAnalysis
+	Reciprocity  float64
+	Distances    *graph.DistanceDistribution
+	Bios         *BioAnalysis
+	Centrality   []CentralityPair
+	Activity     *ActivityAnalysis
+	MetricHists  map[string]*stats.Histogram // Figure 1 panels
+	DegreeSeries []stats.CCDFPoint           // Figure 2 series
+	// Categories is the per-archetype table (user categorization).
+	Categories *CategoryAnalysis
+	// MutualCore validates the §IV-C core-reciprocity conjecture.
+	MutualCore *MutualCoreAnalysis
+}
+
+// Characterizer runs the pipeline.
+type Characterizer struct {
+	opts Options
+}
+
+// NewCharacterizer builds a pipeline with the given options.
+func NewCharacterizer(opts Options) *Characterizer {
+	return &Characterizer{opts: opts.withDefaults()}
+}
+
+// Run characterizes a dataset. activity may be nil (skips §V).
+func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySeries) (*Report, error) {
+	if ds == nil || ds.Graph == nil {
+		return nil, ErrNoData
+	}
+	g := ds.Graph
+	rng := mathx.NewRNG(c.opts.Seed)
+	rep := &Report{}
+
+	c.summarize(rep, ds)
+	c.basic(rep, g)
+	c.degreeAnalysis(rep, g, rng)
+	if !c.opts.SkipEigen {
+		c.eigenAnalysis(rep, g, rng)
+	}
+	rep.Reciprocity = graph.Reciprocity(g)
+	rep.Distances = graph.SampledDistances(g, c.opts.DistanceSources, rng)
+	if len(ds.Profiles) > 0 {
+		c.bioAnalysis(rep, ds)
+		c.metricHistograms(rep, ds)
+		c.centralityAnalysis(rep, ds, rng)
+		if !c.opts.SkipCategories {
+			if ca, err := AnalyzeCategories(ds); err == nil {
+				rep.Categories = ca
+			}
+		}
+	}
+	if !c.opts.SkipCategories {
+		rep.MutualCore = AnalyzeMutualCore(g)
+	}
+	if activity != nil {
+		c.activityAnalysis(rep, activity)
+	}
+	return rep, nil
+}
+
+func (c *Characterizer) summarize(rep *Report, ds *twitter.Dataset) {
+	g := ds.Graph
+	outDeg := g.OutDegrees()
+	ds1 := graph.SummarizeDegrees(outDeg)
+	maxNode := graph.ArgMax(outDeg)
+	scc := graph.StronglyConnectedComponents(g)
+	_, giant := scc.Largest()
+	wcc := graph.WeaklyConnectedComponents(g)
+	rep.Summary = DatasetSummary{
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Density:       g.Density(),
+		Isolated:      len(graph.IsolatedNodes(g)),
+		AvgOutDegree:  ds1.Mean,
+		MaxOutDegree:  ds1.Max,
+		MaxOutNode:    maxNode,
+		GiantSCCSize:  giant,
+		GiantSCCShare: float64(giant) / float64(max(g.NumNodes(), 1)),
+		NumSCCs:       scc.NumComponents(),
+		NumWCCs:       wcc.NumComponents(),
+		TotalVerified: ds.TotalVerified,
+	}
+	rep.Basic.AttractingComponents = len(graph.AttractingComponents(g, scc))
+	// Representative attracting cores: highest in-degree members.
+	ac := graph.AttractingComponents(g, scc)
+	in := g.InDegrees()
+	type core struct{ node, indeg int }
+	var cores []core
+	for _, members := range ac {
+		best := members[0]
+		for _, v := range members {
+			if in[v] > in[best] {
+				best = v
+			}
+		}
+		cores = append(cores, core{best, in[best]})
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i].indeg > cores[j].indeg })
+	for i := 0; i < len(cores) && i < 10; i++ {
+		rep.Basic.AttractingCores = append(rep.Basic.AttractingCores, cores[i].node)
+	}
+}
+
+func (c *Characterizer) basic(rep *Report, g *graph.Digraph) {
+	rep.Basic.Clustering = graph.AverageLocalClustering(g)
+	rep.Basic.Assortativity = graph.DegreeAssortativity(g)
+}
+
+func (c *Characterizer) degreeAnalysis(rep *Report, g *graph.Digraph, rng *mathx.RNG) {
+	outDeg := g.OutDegrees()
+	rep.DegreeSeries = stats.DegreeFrequency(outDeg)
+	fit, err := powerlaw.FitDiscrete(outDeg, nil)
+	if err != nil {
+		return
+	}
+	pa := &PowerLawAnalysis{Fit: fit, GoFP: nan()}
+	if !c.opts.SkipBootstrap {
+		pa.GoFP = fit.GoodnessOfFit(c.opts.BootstrapReps, rng)
+	}
+	pa.Vuong = fit.CompareAll()
+	rep.Degree = pa
+}
+
+func (c *Characterizer) eigenAnalysis(rep *Report, g *graph.Digraph, rng *mathx.RNG) {
+	op := spectral.NewLaplacianOperator(g)
+	evs, err := spectral.TopEigenvaluesLanczos(op, c.opts.EigenK, c.opts.EigenIters, rng)
+	if err != nil || len(evs) == 0 {
+		return
+	}
+	fit, err := powerlaw.FitContinuous(evs, nil)
+	if err != nil {
+		return
+	}
+	pa := &PowerLawAnalysis{Fit: fit, GoFP: nan()}
+	if !c.opts.SkipBootstrap {
+		pa.GoFP = fit.GoodnessOfFit(c.opts.BootstrapReps, rng)
+	}
+	// Poisson does not apply to continuous eigenvalues; CompareAll
+	// handles that by skipping it.
+	pa.Vuong = fit.CompareAll()
+	rep.Eigen = pa
+}
+
+func (c *Characterizer) bioAnalysis(rep *Report, ds *twitter.Dataset) {
+	uni := text.NewCounter(1)
+	big := text.NewCounter(2)
+	tri := text.NewCounter(3)
+	for _, bio := range ds.Bios() {
+		toks := text.Tokenize(bio)
+		uni.Add(toks)
+		big.Add(toks)
+		tri.Add(toks)
+	}
+	k := c.opts.TopNGrams
+	ba := &BioAnalysis{
+		TopUnigrams: uni.Top(2 * k),
+		TopBigrams:  big.Top(k),
+		TopTrigrams: tri.Top(k),
+	}
+	ba.Cloud = text.BuildCloud(ba.TopUnigrams)
+	rep.Bios = ba
+}
+
+func (c *Characterizer) metricHistograms(rep *Report, ds *twitter.Dataset) {
+	rep.MetricHists = make(map[string]*stats.Histogram, 4)
+	for _, m := range []twitter.Metric{
+		twitter.MetricFriends, twitter.MetricFollowers,
+		twitter.MetricListed, twitter.MetricStatuses,
+	} {
+		rep.MetricHists[m.String()] = stats.NewLogHistogram(ds.MetricValues(m), 30)
+	}
+}
+
+// centralityAnalysis builds the six Figure 5 panels.
+func (c *Characterizer) centralityAnalysis(rep *Report, ds *twitter.Dataset, rng *mathx.RNG) {
+	g := ds.Graph
+	pr, err := centrality.PageRank(g, nil)
+	if err != nil {
+		return
+	}
+	followers := ds.MetricValues(twitter.MetricFollowers)
+	listed := ds.MetricValues(twitter.MetricListed)
+	statuses := ds.MetricValues(twitter.MetricStatuses)
+	var bc []float64
+	if !c.opts.SkipBetweenness {
+		bc = centrality.ApproxBetweenness(g, c.opts.BetweennessSources, rng)
+	}
+	panels := []struct {
+		label string
+		x, y  []float64
+	}{
+		{"list memberships vs betweenness", bc, listed},
+		{"follower count vs betweenness", bc, followers},
+		{"list memberships vs pagerank", pr, listed},
+		{"follower count vs pagerank", pr, followers},
+		{"follower count vs status count", statuses, followers},
+		{"follower count vs list memberships", listed, followers},
+	}
+	for _, p := range panels {
+		if p.x == nil {
+			continue
+		}
+		pair := buildCentralityPair(p.label, p.x, p.y)
+		if pair != nil {
+			rep.Centrality = append(rep.Centrality, *pair)
+		}
+	}
+}
+
+// buildCentralityPair computes log-log correlations and the GAM spline for
+// one panel, dropping non-positive points (as log-log plots must).
+func buildCentralityPair(label string, x, y []float64) *CentralityPair {
+	var lx, ly []float64
+	for i := range x {
+		if x[i] > 0 && y[i] > 0 {
+			lx = append(lx, log10(x[i]))
+			ly = append(ly, log10(y[i]))
+		}
+	}
+	if len(lx) < 10 {
+		return nil
+	}
+	pearson, err := stats.Pearson(lx, ly)
+	if err != nil {
+		return nil
+	}
+	spearman, _ := stats.Spearman(lx, ly)
+	pair := &CentralityPair{
+		Label:    label,
+		Pearson:  pearson,
+		Spearman: spearman,
+		PValue:   stats.CorrelationTest(pearson, len(lx)),
+		N:        len(lx),
+	}
+	if sp, err := stats.FitSpline(lx, ly, nil); err == nil {
+		pair.Curve = sp.Curve(25)
+	}
+	return pair
+}
+
+func (c *Characterizer) activityAnalysis(rep *Report, activity *timeseries.DailySeries) {
+	aa := &ActivityAnalysis{Series: activity, PortmanteauLag: 185}
+	maxLag := 185
+	if maxLag >= activity.Len() {
+		maxLag = activity.Len() - 2
+	}
+	aa.PortmanteauLag = maxLag
+	if lb, err := timeseries.LjungBox(activity.Values, maxLag); err == nil {
+		aa.LjungBoxMaxP = timeseries.MaxPValue(lb)
+	}
+	if bp, err := timeseries.BoxPierce(activity.Values, maxLag); err == nil {
+		aa.BoxPierceMaxP = timeseries.MaxPValue(bp)
+	}
+	if adf, err := timeseries.ADF(activity.Values, timeseries.RegConstantTrend, -1); err == nil {
+		aa.ADF = adf
+	}
+	aa.Changepoints = timeseries.PenaltySweep(activity.Values, 10, 400, 12, 7, 6)
+	aa.WeekdayMeans = activity.WeekdayMeans()
+	weekday := (aa.WeekdayMeans[1] + aa.WeekdayMeans[2] + aa.WeekdayMeans[3] +
+		aa.WeekdayMeans[4] + aa.WeekdayMeans[5]) / 5
+	if weekday > 0 {
+		aa.SundayWeekday = aa.WeekdayMeans[0] / weekday
+	}
+	rep.Activity = aa
+}
+
+func log10(v float64) float64 { return math.Log10(v) }
+
+func nan() float64 { return math.NaN() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

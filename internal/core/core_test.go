@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"elites/internal/gen"
+	"elites/internal/mathx"
+	"elites/internal/twitter"
+)
+
+// testDataset builds a small platform dataset once per test binary.
+var (
+	cachedPlatform *twitter.Platform
+	cachedDataset  *twitter.Dataset
+)
+
+func testPlatform(t *testing.T) (*twitter.Platform, *twitter.Dataset) {
+	t.Helper()
+	if cachedPlatform == nil {
+		p, err := twitter.NewPlatform(twitter.DefaultPlatformConfig(3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedPlatform = p
+		cachedDataset = twitter.DatasetFromPlatform(p)
+	}
+	return cachedPlatform, cachedDataset
+}
+
+func fastOptions() Options {
+	return Options{
+		DistanceSources:    60,
+		BetweennessSources: 40,
+		EigenK:             40,
+		BootstrapReps:      20,
+		Seed:               3,
+	}
+}
+
+func TestRunFullPipeline(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	rep, err := NewCharacterizer(fastOptions()).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III summary.
+	if rep.Summary.Nodes != ds.Graph.NumNodes() || rep.Summary.Edges != ds.Graph.NumEdges() {
+		t.Fatal("summary counts wrong")
+	}
+	if rep.Summary.GiantSCCShare < 0.9 {
+		t.Fatalf("giant SCC share = %v", rep.Summary.GiantSCCShare)
+	}
+	// §IV-A.
+	if rep.Basic.Clustering <= 0 || rep.Basic.Clustering > 1 {
+		t.Fatalf("clustering = %v", rep.Basic.Clustering)
+	}
+	if rep.Basic.AttractingComponents <= 0 {
+		t.Fatal("no attracting components")
+	}
+	// §IV-B.
+	if rep.Degree == nil || rep.Degree.Fit == nil {
+		t.Fatal("degree fit missing")
+	}
+	if rep.Degree.Fit.Alpha < 2.5 || rep.Degree.Fit.Alpha > 4 {
+		t.Fatalf("degree alpha = %v", rep.Degree.Fit.Alpha)
+	}
+	if rep.Eigen == nil || rep.Eigen.Fit == nil {
+		t.Fatal("eigen fit missing")
+	}
+	if len(rep.Degree.Vuong) != 3 {
+		t.Fatalf("degree Vuong comparisons = %d", len(rep.Degree.Vuong))
+	}
+	// §IV-C.
+	if rep.Reciprocity < 0.25 || rep.Reciprocity > 0.45 {
+		t.Fatalf("reciprocity = %v", rep.Reciprocity)
+	}
+	// §IV-D.
+	if rep.Distances.Mean() < 1.5 || rep.Distances.Mean() > 4 {
+		t.Fatalf("mean distance = %v", rep.Distances.Mean())
+	}
+	// §IV-E.
+	if rep.Bios == nil || len(rep.Bios.TopBigrams) == 0 || len(rep.Bios.TopTrigrams) == 0 {
+		t.Fatal("bios missing")
+	}
+	if rep.Bios.TopBigrams[0].Phrase() != "Official Twitter" {
+		t.Fatalf("top bigram = %v", rep.Bios.TopBigrams[0].Phrase())
+	}
+	// Figure 1.
+	if len(rep.MetricHists) != 4 {
+		t.Fatalf("metric histograms = %d", len(rep.MetricHists))
+	}
+	// Figure 5: six panels, all positively correlated.
+	if len(rep.Centrality) != 6 {
+		t.Fatalf("centrality panels = %d, want 6", len(rep.Centrality))
+	}
+	for _, p := range rep.Centrality {
+		if p.Pearson <= 0 {
+			t.Errorf("panel %q: pearson = %v, want positive", p.Label, p.Pearson)
+		}
+	}
+	// §V.
+	if rep.Activity == nil || rep.Activity.ADF == nil {
+		t.Fatal("activity analysis missing")
+	}
+	if !rep.Activity.ADF.Stationary() {
+		t.Fatalf("activity not stationary: %v", rep.Activity.ADF.Statistic)
+	}
+	if rep.Activity.LjungBoxMaxP > 1e-6 {
+		t.Fatalf("Ljung–Box max p = %v", rep.Activity.LjungBoxMaxP)
+	}
+	if rep.Activity.SundayWeekday >= 1 {
+		t.Fatalf("Sunday ratio = %v, want < 1", rep.Activity.SundayWeekday)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c := NewCharacterizer(Options{})
+	if _, err := c.Run(nil, nil); err != ErrNoData {
+		t.Fatal("nil dataset should error")
+	}
+	if _, err := c.Run(&twitter.Dataset{}, nil); err != ErrNoData {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestSkipFlags(t *testing.T) {
+	_, ds := testPlatform(t)
+	opts := fastOptions()
+	opts.SkipEigen = true
+	opts.SkipBetweenness = true
+	opts.SkipBootstrap = true
+	rep, err := NewCharacterizer(opts).Run(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Eigen != nil {
+		t.Fatal("eigen should be skipped")
+	}
+	// Without betweenness, only 4 panels survive.
+	if len(rep.Centrality) != 4 {
+		t.Fatalf("panels = %d, want 4 without betweenness", len(rep.Centrality))
+	}
+	if rep.Activity != nil {
+		t.Fatal("activity should be nil without a series")
+	}
+	if !math.IsNaN(rep.Degree.GoFP) {
+		t.Fatal("bootstrap should be skipped")
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	opts := fastOptions()
+	opts.SkipBootstrap = true
+	rep, err := NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Dataset (paper §III)",
+		"Basic analysis (paper §IV-A)",
+		"Figure 1",
+		"Figure 2",
+		"Reciprocity",
+		"Figure 3",
+		"Table I",
+		"Table II",
+		"Figure 4",
+		"Figure 5",
+		"User categorization",
+		"§IV-C conjecture validation",
+		"Activity analysis (paper §V)",
+		"Figure 6",
+		"Official Twitter",
+		"Ljung–Box",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFingerprintContrast(t *testing.T) {
+	v, err := gen.Verified(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := gen.Twitter(5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(5)
+	fpV := ComputeFingerprint(v.Graph, 0, rng)
+	fpT := ComputeFingerprint(tw.Graph, 0, rng)
+	sv := fpV.VerifiedLikeness()
+	st := fpT.VerifiedLikeness()
+	if sv <= st {
+		t.Fatalf("verified-likeness must separate: verified %v vs generic %v", sv, st)
+	}
+	if sv < 0.7 {
+		t.Fatalf("verified graph scores only %v", sv)
+	}
+	// The paper's own fingerprint must score ~1.
+	if s := PaperVerifiedFingerprint().VerifiedLikeness(); s < 0.99 {
+		t.Fatalf("paper fingerprint scores %v", s)
+	}
+	var sb strings.Builder
+	CompareFingerprints(&sb, [2]string{"verified", "generic"}, [2]Fingerprint{fpV, fpT})
+	if !strings.Contains(sb.String(), "reciprocity") || !strings.Contains(sb.String(), "verified-likeness") {
+		t.Fatal("comparison table incomplete")
+	}
+}
+
+func TestFingerprintEmptyGraph(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	g, err := gen.ErdosRenyi(0, 0, 1), error(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ComputeFingerprint(g, 0, rng)
+	if fp.VerifiedLikeness() > 0.6 {
+		t.Fatalf("empty graph scores %v", fp.VerifiedLikeness())
+	}
+}

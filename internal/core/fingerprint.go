@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"elites/internal/graph"
+	"elites/internal/mathx"
+	"elites/internal/powerlaw"
+)
+
+// Fingerprint is the compact structural signature the paper's conclusion
+// proposes as a discriminator between verified-like and generic networks:
+// "the above-mentioned deviations likely constitute a unique fingerprint for
+// verified users".
+type Fingerprint struct {
+	Reciprocity    float64
+	Clustering     float64
+	Assortativity  float64
+	GiantSCCShare  float64
+	MeanDistance   float64
+	PowerLawAlpha  float64 // NaN when no plausible power-law tail
+	PowerLawGoF    float64 // bootstrap p; NaN when skipped
+	IsolatedShare  float64
+	AttractingRate float64 // attracting components per node
+}
+
+// ComputeFingerprint measures the signature of a graph. bootstrapReps <= 0
+// skips the goodness-of-fit bootstrap (PowerLawGoF = NaN).
+func ComputeFingerprint(g *graph.Digraph, bootstrapReps int, rng *mathx.RNG) Fingerprint {
+	fp := Fingerprint{
+		Reciprocity:   graph.Reciprocity(g),
+		Clustering:    graph.AverageLocalClustering(g),
+		Assortativity: graph.DegreeAssortativity(g),
+		PowerLawAlpha: math.NaN(),
+		PowerLawGoF:   math.NaN(),
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return fp
+	}
+	scc := graph.StronglyConnectedComponents(g)
+	_, giant := scc.Largest()
+	fp.GiantSCCShare = float64(giant) / float64(n)
+	fp.IsolatedShare = float64(len(graph.IsolatedNodes(g))) / float64(n)
+	fp.AttractingRate = float64(len(graph.AttractingComponents(g, scc))) / float64(n)
+	sources := 150
+	if sources > n {
+		sources = n
+	}
+	fp.MeanDistance = graph.SampledDistances(g, sources, rng).Mean()
+	if fit, err := powerlaw.FitDiscrete(g.OutDegrees(), nil); err == nil {
+		fp.PowerLawAlpha = fit.Alpha
+		if bootstrapReps > 0 {
+			fp.PowerLawGoF = fit.GoodnessOfFit(bootstrapReps, rng)
+		}
+	}
+	return fp
+}
+
+// PaperVerifiedFingerprint is the fingerprint the paper measured on the real
+// English verified network (231,246 nodes).
+func PaperVerifiedFingerprint() Fingerprint {
+	return Fingerprint{
+		Reciprocity:    0.337,
+		Clustering:     0.1583,
+		Assortativity:  -0.04,
+		GiantSCCShare:  0.9724,
+		MeanDistance:   2.74,
+		PowerLawAlpha:  3.24,
+		PowerLawGoF:    0.13,
+		IsolatedShare:  6027.0 / 231246.0,
+		AttractingRate: 6091.0 / 231246.0,
+	}
+}
+
+// VerifiedLikeness scores how closely a fingerprint matches the paper's
+// verified signature, in [0, 1]: the mean of per-dimension band scores
+// (1 inside the verified band, decaying linearly outside). It is the simple
+// discriminator the conclusion sketches ("evaluate the strength of an
+// unverified user's case") applied at network granularity.
+func (f Fingerprint) VerifiedLikeness() float64 {
+	type band struct {
+		v, lo, hi, slack float64
+	}
+	bands := []band{
+		{f.Reciprocity, 0.28, 0.40, 0.12},    // well above Twitter's 0.221
+		{f.Clustering, 0.08, 0.25, 0.10},     // low but present
+		{f.Assortativity, -0.12, 0.00, 0.10}, // slight dissortativity
+		{f.GiantSCCShare, 0.93, 0.995, 0.05}, // giant SCC ≈ 97%
+		{f.MeanDistance, 2.2, 3.2, 0.8},      // short paths
+		{f.PowerLawAlpha, 2.8, 3.7, 0.5},     // tail exponent ≈ 3.24
+	}
+	score := 0.0
+	count := 0.0
+	for _, b := range bands {
+		if math.IsNaN(b.v) {
+			// A missing power-law tail is itself evidence against
+			// verified-likeness.
+			count++
+			continue
+		}
+		count++
+		switch {
+		case b.v >= b.lo && b.v <= b.hi:
+			score++
+		case b.v < b.lo:
+			score += math.Max(0, 1-(b.lo-b.v)/b.slack)
+		default:
+			score += math.Max(0, 1-(b.v-b.hi)/b.slack)
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return score / count
+}
+
+// CompareFingerprints renders a side-by-side table of two fingerprints with
+// the paper's reference values — the verified-vs-generic contrast table.
+func CompareFingerprints(w io.Writer, names [2]string, fps [2]Fingerprint) {
+	paper := PaperVerifiedFingerprint()
+	fmt.Fprintf(w, "%-24s %14s %14s %16s\n", "metric", names[0], names[1], "paper (verified)")
+	row := func(name string, a, b, p float64, format string) {
+		fmt.Fprintf(w, "%-24s "+format+" "+format+" "+format+"\n", name,
+			a, b, p)
+	}
+	row("reciprocity", fps[0].Reciprocity, fps[1].Reciprocity, paper.Reciprocity, "%14.3f")
+	row("clustering", fps[0].Clustering, fps[1].Clustering, paper.Clustering, "%14.4f")
+	row("assortativity", fps[0].Assortativity, fps[1].Assortativity, paper.Assortativity, "%14.3f")
+	row("giant SCC share", fps[0].GiantSCCShare, fps[1].GiantSCCShare, paper.GiantSCCShare, "%14.4f")
+	row("mean distance", fps[0].MeanDistance, fps[1].MeanDistance, paper.MeanDistance, "%14.2f")
+	row("power-law alpha", fps[0].PowerLawAlpha, fps[1].PowerLawAlpha, paper.PowerLawAlpha, "%14.3f")
+	row("power-law GoF p", fps[0].PowerLawGoF, fps[1].PowerLawGoF, paper.PowerLawGoF, "%14.3f")
+	row("isolated share", fps[0].IsolatedShare, fps[1].IsolatedShare, paper.IsolatedShare, "%14.4f")
+	row("attracting / node", fps[0].AttractingRate, fps[1].AttractingRate, paper.AttractingRate, "%14.4f")
+	fmt.Fprintf(w, "%-24s %14.3f %14.3f %16s\n", "verified-likeness",
+		fps[0].VerifiedLikeness(), fps[1].VerifiedLikeness(), "1.000 (by def.)")
+}

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elites/internal/mathx"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	scc := StronglyConnectedComponents(g)
+	if scc.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", scc.NumComponents())
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[1] != scc.Comp[2] {
+		t.Fatal("cycle nodes should share a component")
+	}
+	if scc.Comp[3] == scc.Comp[0] {
+		t.Fatal("node 3 should be separate")
+	}
+	_, size := scc.Largest()
+	if size != 3 {
+		t.Fatalf("largest = %d, want 3", size)
+	}
+}
+
+func TestSCCDAGIsAllSingletons(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	scc := StronglyConnectedComponents(g)
+	if scc.NumComponents() != 5 {
+		t.Fatalf("DAG should have n singleton SCCs, got %d", scc.NumComponents())
+	}
+}
+
+func TestSCCTopologicalNumbering(t *testing.T) {
+	// Tarjan ids are reverse topological: an edge crossing components goes
+	// from a higher id to a lower id.
+	rng := mathx.NewRNG(3)
+	for trial := 0; trial < 30; trial++ {
+		g := randomDigraph(rng, 40, 0.05)
+		scc := StronglyConnectedComponents(g)
+		g.Edges(func(u, v int) bool {
+			cu, cv := scc.Comp[u], scc.Comp[v]
+			if cu != cv && cu < cv {
+				t.Fatalf("edge %d->%d crosses from comp %d to %d (not reverse-topological)", u, v, cu, cv)
+			}
+			return true
+		})
+	}
+}
+
+// bruteSCC computes SCCs by pairwise reachability — O(n·m) oracle.
+func bruteSCC(g *Digraph) []int {
+	n := g.NumNodes()
+	reach := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		reach[u] = make([]bool, n)
+		dist := BFS(g, u)
+		for v, d := range dist {
+			if d >= 0 {
+				reach[u][v] = true
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for u := 0; u < n; u++ {
+		if comp[u] >= 0 {
+			continue
+		}
+		comp[u] = next
+		for v := u + 1; v < n; v++ {
+			if comp[v] < 0 && reach[u][v] && reach[v][u] {
+				comp[v] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+func TestSCCAgainstBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	f := func(seed uint32) bool {
+		n := 3 + rng.Intn(25)
+		p := 0.02 + rng.Float64()*0.15
+		g := randomDigraph(rng, n, p)
+		scc := StronglyConnectedComponents(g)
+		brute := bruteSCC(g)
+		// Same partition: comp[u]==comp[v] iff brute[u]==brute[v].
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				a := scc.Comp[u] == scc.Comp[v]
+				b := brute[u] == brute[v]
+				if a != b {
+					return false
+				}
+			}
+		}
+		// Sizes consistent.
+		total := 0
+		for _, s := range scc.Sizes {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSCCDeepPathNoStackOverflow(t *testing.T) {
+	// A long path would blow recursive Tarjan; the iterative version must
+	// handle 200k-node chains.
+	n := 200000
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	scc := StronglyConnectedComponents(g)
+	if scc.NumComponents() != n {
+		t.Fatalf("components = %d, want %d", scc.NumComponents(), n)
+	}
+}
+
+func TestWCC(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 1}, {2, 1}, {3, 4}})
+	wcc := WeaklyConnectedComponents(g)
+	if wcc.NumComponents() != 3 {
+		t.Fatalf("WCCs = %d, want 3 ({0,1,2},{3,4},{5})", wcc.NumComponents())
+	}
+	if wcc.Comp[0] != wcc.Comp[2] {
+		t.Fatal("0 and 2 weakly connected via 1")
+	}
+	_, size := wcc.Largest()
+	if size != 3 {
+		t.Fatalf("largest WCC = %d", size)
+	}
+}
+
+func TestWCCMatchesSCCOnUndirected(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		g := randomDigraph(rng, 30, 0.04)
+		und := g.Undirected()
+		wcc := WeaklyConnectedComponents(g)
+		scc := StronglyConnectedComponents(und)
+		if wcc.NumComponents() != scc.NumComponents() {
+			t.Fatalf("WCC of g (%d) != SCC of undirected (%d)",
+				wcc.NumComponents(), scc.NumComponents())
+		}
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 0}})
+	iso := IsolatedNodes(g)
+	if len(iso) != 3 {
+		t.Fatalf("isolated = %v", iso)
+	}
+}
+
+func TestAttractingComponents(t *testing.T) {
+	// 0<->1 form an SCC that leaks to 2; 2 is a sink; 3 isolated (sink);
+	// 4->2 is a source singleton.
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 0}, {1, 2}, {4, 2}})
+	ac := AttractingComponents(g, nil)
+	if len(ac) != 2 {
+		t.Fatalf("attracting components = %d, want 2 ({2} and {3})", len(ac))
+	}
+	found2, found3 := false, false
+	for _, members := range ac {
+		if len(members) == 1 && members[0] == 2 {
+			found2 = true
+		}
+		if len(members) == 1 && members[0] == 3 {
+			found3 = true
+		}
+	}
+	if !found2 || !found3 {
+		t.Fatalf("attracting members wrong: %v", ac)
+	}
+}
+
+func TestAttractingComponentsCycleSink(t *testing.T) {
+	// Whole graph one cycle: the single SCC is attracting.
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	ac := AttractingComponents(g, nil)
+	if len(ac) != 1 || len(ac[0]) != 3 {
+		t.Fatalf("cycle should be one attracting comp of size 3: %v", ac)
+	}
+}
+
+func TestCondensationIsDAG(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	for trial := 0; trial < 20; trial++ {
+		g := randomDigraph(rng, 35, 0.08)
+		scc := StronglyConnectedComponents(g)
+		cond := Condensation(g, scc)
+		// A DAG has exactly as many SCCs as nodes.
+		cscc := StronglyConnectedComponents(cond)
+		if cscc.NumComponents() != cond.NumNodes() {
+			t.Fatal("condensation is not a DAG")
+		}
+	}
+}
+
+func TestAttractingEqualsCondensationSinks(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	for trial := 0; trial < 20; trial++ {
+		g := randomDigraph(rng, 30, 0.06)
+		scc := StronglyConnectedComponents(g)
+		ac := AttractingComponents(g, scc)
+		cond := Condensation(g, scc)
+		sinks := 0
+		for c := 0; c < cond.NumNodes(); c++ {
+			if cond.OutDegree(c) == 0 {
+				sinks++
+			}
+		}
+		if len(ac) != sinks {
+			t.Fatalf("attracting comps %d != condensation sinks %d", len(ac), sinks)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"elites/internal/mathx"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	dist := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+}
+
+func TestBFSDirectionality(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	dist := BFS(g, 2)
+	if dist[0] != -1 || dist[1] != -1 || dist[2] != 0 {
+		t.Fatalf("reverse reachability should be empty: %v", dist)
+	}
+}
+
+func TestExactDistancesCycle(t *testing.T) {
+	// Directed 4-cycle: each ordered pair reachable; distances 1,2,3 from
+	// each node.
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	dd := ExactDistances(g)
+	if dd.Pairs != 12 {
+		t.Fatalf("pairs = %v, want 12", dd.Pairs)
+	}
+	if dd.Counts[1] != 4 || dd.Counts[2] != 4 || dd.Counts[3] != 4 {
+		t.Fatalf("counts = %v", dd.Counts)
+	}
+	if math.Abs(dd.Mean()-2) > 1e-12 {
+		t.Fatalf("mean = %v, want 2", dd.Mean())
+	}
+	if dd.MaxObserved() != 3 {
+		t.Fatalf("diameter = %d, want 3", dd.MaxObserved())
+	}
+}
+
+func TestDistanceDistributionPercentiles(t *testing.T) {
+	dd := &DistanceDistribution{Counts: []float64{0, 50, 30, 20}, Pairs: 100}
+	if m := dd.Median(); m < 0.9 || m > 1.1 {
+		t.Fatalf("median = %v", m)
+	}
+	ed := dd.EffectiveDiameter()
+	// 90th percentile: 50 at d=1, 30 at d=2 (cum 80), need 10 into the
+	// 20 at d=3 -> 2 + 10/20 = 2.5.
+	if math.Abs(ed-2.5) > 1e-9 {
+		t.Fatalf("effective diameter = %v, want 2.5", ed)
+	}
+}
+
+func TestSampledApproximatesExact(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	g := randomDigraph(rng, 300, 0.02)
+	exact := ExactDistances(g)
+	sampled := SampledDistances(g, 150, rng)
+	if !sampled.Sampled {
+		t.Fatal("should be flagged sampled")
+	}
+	if exact.Pairs == 0 {
+		t.Skip("degenerate random graph")
+	}
+	relMean := math.Abs(sampled.Mean()-exact.Mean()) / exact.Mean()
+	if relMean > 0.1 {
+		t.Fatalf("sampled mean %v vs exact %v", sampled.Mean(), exact.Mean())
+	}
+	relPairs := math.Abs(sampled.Pairs-exact.Pairs) / exact.Pairs
+	if relPairs > 0.2 {
+		t.Fatalf("sampled pairs %v vs exact %v", sampled.Pairs, exact.Pairs)
+	}
+}
+
+func TestSampledFallsBackToExact(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	dd := SampledDistances(g, 10, rng)
+	if dd.Sampled {
+		t.Fatal("k >= n should run exact")
+	}
+	if dd.Pairs != 3 { // 0->1,0->2,1->2
+		t.Fatalf("pairs = %v", dd.Pairs)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}})
+	if ReachableFrom(g, 0) != 2 {
+		t.Fatal("reach from 0 should be 2")
+	}
+	if ReachableFrom(g, 3) != 0 {
+		t.Fatal("reach from isolated should be 0")
+	}
+}
+
+func TestDegreesWithinK(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {3, 4}})
+	counts := DegreesWithinK(g, 0, 3)
+	// d0: {0}; d1: {1,2}; d2: {3}; d3: {4}
+	want := []int{1, 2, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("counts = %v", counts)
+		}
+	}
+}
+
+func TestHarmonicMeanDistance(t *testing.T) {
+	dd := &DistanceDistribution{Counts: []float64{0, 4, 4}, Pairs: 8}
+	// harmonic mean = 8 / (4/1 + 4/2) = 8/6
+	if math.Abs(dd.HarmonicMeanDistance()-8.0/6.0) > 1e-12 {
+		t.Fatalf("harmonic = %v", dd.HarmonicMeanDistance())
+	}
+	empty := &DistanceDistribution{Counts: []float64{0}, Pairs: 0}
+	if !math.IsInf(empty.HarmonicMeanDistance(), 1) {
+		t.Fatal("empty harmonic should be +Inf")
+	}
+}
+
+func TestMeanMatchesBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	g := randomDigraph(rng, 60, 0.05)
+	dd := ExactDistances(g)
+	// Brute force with per-source BFS.
+	var sum, cnt float64
+	for u := 0; u < g.NumNodes(); u++ {
+		dist := BFS(g, u)
+		for _, d := range dist {
+			if d > 0 {
+				sum += float64(d)
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		t.Skip("degenerate")
+	}
+	if math.Abs(dd.Mean()-sum/cnt) > 1e-9 {
+		t.Fatalf("mean %v vs brute %v", dd.Mean(), sum/cnt)
+	}
+	if dd.Pairs != cnt {
+		t.Fatalf("pairs %v vs brute %v", dd.Pairs, cnt)
+	}
+}

@@ -1,0 +1,130 @@
+package mathx
+
+import "math"
+
+// MinimizeNelderMead minimizes an n-dimensional function using the
+// Nelder–Mead simplex method with standard coefficients (reflection 1,
+// expansion 2, contraction 0.5, shrink 0.5). start is the initial point and
+// step the per-coordinate initial simplex size. It returns the best point
+// found and its value. Used for the 2-parameter truncated-lognormal MLE in
+// the power-law comparisons; tolerances are on the simplex value spread.
+func MinimizeNelderMead(f func([]float64) float64, start, step []float64, tol float64, maxIter int) ([]float64, float64) {
+	n := len(start)
+	if n == 0 {
+		return nil, math.NaN()
+	}
+	if maxIter <= 0 {
+		maxIter = 200 * n
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	// Build initial simplex of n+1 points.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := append([]float64(nil), start...)
+		if i > 0 {
+			s := step[i-1]
+			if s == 0 {
+				s = 0.1
+			}
+			p[i-1] += s
+		}
+		pts[i] = p
+		vals[i] = f(p)
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Order: find best, worst, second worst.
+		best, worst, second := 0, 0, 0
+		for i := 1; i <= n; i++ {
+			if vals[i] < vals[best] {
+				best = i
+			}
+			if vals[i] > vals[worst] {
+				worst = i
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if i != worst && vals[i] > vals[second] {
+				second = i
+			}
+		}
+		if math.Abs(vals[worst]-vals[best]) <= tol*(math.Abs(vals[best])+tol) {
+			break
+		}
+		// Centroid of all but worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for i := 0; i <= n; i++ {
+			if i == worst {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				centroid[j] += pts[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+		// Reflection.
+		for j := 0; j < n; j++ {
+			trial[j] = centroid[j] + (centroid[j] - pts[worst][j])
+		}
+		fr := f(trial)
+		switch {
+		case fr < vals[best]:
+			// Expansion.
+			exp := make([]float64, n)
+			for j := 0; j < n; j++ {
+				exp[j] = centroid[j] + 2*(centroid[j]-pts[worst][j])
+			}
+			fe := f(exp)
+			if fe < fr {
+				copy(pts[worst], exp)
+				vals[worst] = fe
+			} else {
+				copy(pts[worst], trial)
+				vals[worst] = fr
+			}
+		case fr < vals[second]:
+			copy(pts[worst], trial)
+			vals[worst] = fr
+		default:
+			// Contraction toward the better of (worst, reflected).
+			if fr < vals[worst] {
+				copy(pts[worst], trial)
+				vals[worst] = fr
+			}
+			for j := 0; j < n; j++ {
+				trial[j] = centroid[j] + 0.5*(pts[worst][j]-centroid[j])
+			}
+			fc := f(trial)
+			if fc < vals[worst] {
+				copy(pts[worst], trial)
+				vals[worst] = fc
+			} else {
+				// Shrink toward best.
+				for i := 0; i <= n; i++ {
+					if i == best {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[best][j] + 0.5*(pts[i][j]-pts[best][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i <= n; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return pts[best], vals[best]
+}

@@ -1,0 +1,220 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds should diverge, %d collisions", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Error("split stream should differ from parent")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestParetoTailIndex(t *testing.T) {
+	// Hill estimator on Pareto(1, alpha) samples should recover alpha.
+	r := NewRNG(11)
+	const n = 100000
+	alpha := 3.2
+	sumLog := 0.0
+	for i := 0; i < n; i++ {
+		sumLog += math.Log(r.Pareto(1, alpha))
+	}
+	// For density exponent alpha, E[ln(x/xmin)] = 1/(alpha-1).
+	est := 1 + 1/(sumLog/float64(n))
+	if math.Abs(est-alpha) > 0.05 {
+		t.Errorf("Pareto MLE alpha = %v, want %v", est, alpha)
+	}
+}
+
+func TestParetoIntSupport(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		v := r.ParetoInt(5, 2.5)
+		if v < 5 {
+			t.Fatalf("ParetoInt below xmin: %d", v)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(17)
+	for _, mu := range []float64{0.5, 4, 25, 100, 400} {
+		const n = 50000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mu))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-mu) > 4*math.Sqrt(mu/n)+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", mu, mean)
+		}
+		if math.Abs(variance-mu) > 0.1*mu+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", mu, variance)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSamplerDistribution(t *testing.T) {
+	r := NewRNG(29)
+	z := NewZipfSampler(100, 1.5)
+	const n = 100000
+	counts := make([]int, 101)
+	for i := 0; i < n; i++ {
+		v := z.Sample(r)
+		if v < 1 || v > 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// P(1)/P(2) should be 2^1.5.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if math.Abs(ratio-math.Pow(2, 1.5)) > 0.3 {
+		t.Errorf("Zipf ratio P(1)/P(2) = %v, want %v", ratio, math.Pow(2, 1.5))
+	}
+}
+
+func TestWeightedSamplerProportions(t *testing.T) {
+	r := NewRNG(31)
+	weights := []float64{1, 0, 3, 6}
+	ws := NewWeightedSampler(weights)
+	const n = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[ws.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	total := 1.0 + 3 + 6
+	for i, w := range weights {
+		want := float64(n) * w / total
+		if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want+1) {
+			t.Errorf("index %d count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestWeightedSamplerPanics(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v should panic", w)
+				}
+			}()
+			NewWeightedSampler(w)
+		}()
+	}
+}

@@ -1,0 +1,220 @@
+package plot
+
+import (
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"elites/internal/stats"
+	"elites/internal/timeseries"
+)
+
+// LogHistogram renders a Figure 1 panel: log-binned counts on log-log axes.
+func LogHistogram(w io.Writer, h *stats.Histogram, title, xlabel string) error {
+	c := NewCanvas(560, 400)
+	xmin, xmax := h.Edges[0], h.Edges[len(h.Edges)-1]
+	ymax := 1.0
+	for _, cnt := range h.Counts {
+		if float64(cnt) > ymax {
+			ymax = float64(cnt)
+		}
+	}
+	a := NewAxes(c, title, xlabel, "number of users", xmin, xmax, 0.8, ymax*1.3, true, true)
+	centers := h.GeometricCenters()
+	for i, cnt := range h.Counts {
+		if cnt == 0 {
+			continue
+		}
+		x, y := a.XY(centers[i], float64(cnt))
+		_, y0 := a.XY(centers[i], 0.8)
+		c.Line(x, y0, x, y, "#4878CF", 5)
+		c.Circle(x, y, 2.5, "#2a4d8f", 1)
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// FrequencySeries renders Figure 2: proportion of users per out-degree on
+// log-log axes, optionally overlaying the fitted power law p(x) =
+// C·x^-alpha for x >= xmin (C chosen to match the first tail point).
+func FrequencySeries(w io.Writer, pts []stats.CCDFPoint, alpha, xmin float64, title string) error {
+	c := NewCanvas(560, 400)
+	if len(pts) == 0 {
+		_, err := c.WriteTo(w)
+		return err
+	}
+	maxX, minP, maxP := 1.0, 1.0, 0.0
+	for _, p := range pts {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.P < minP && p.P > 0 {
+			minP = p.P
+		}
+		if p.P > maxP {
+			maxP = p.P
+		}
+	}
+	a := NewAxes(c, title, "out-degree", "proportion of users",
+		1, maxX*1.2, minP*0.7, maxP*1.5, true, true)
+	for _, p := range pts {
+		x, y := a.XY(p.X, p.P)
+		c.Circle(x, y, 1.8, "#4878CF", 0.7)
+	}
+	if alpha > 1 && xmin > 0 {
+		// Anchor the fitted line at the empirical density near xmin.
+		var anchor stats.CCDFPoint
+		for _, p := range pts {
+			if p.X >= xmin {
+				anchor = p
+				break
+			}
+		}
+		if anchor.X > 0 {
+			cNorm := anchor.P * math.Pow(anchor.X, alpha)
+			var xs, ys []float64
+			for x := xmin; x <= maxX; x *= 1.15 {
+				px, py := a.XY(x, cNorm*math.Pow(x, -alpha))
+				xs = append(xs, px)
+				ys = append(ys, py)
+			}
+			c.Polyline(xs, ys, "#d62728", 1.6)
+			c.Text(120, 50, "fitted power law", 11, "start", "#d62728")
+		}
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// DistanceHistogram renders Figure 3: pair counts per hop distance with a
+// log-scaled y axis.
+func DistanceHistogram(w io.Writer, d []float64, title string) error {
+	c := NewCanvas(560, 400)
+	maxC := 1.0
+	maxD := 1
+	for dist := 1; dist < len(d); dist++ {
+		if d[dist] > maxC {
+			maxC = d[dist]
+		}
+		if d[dist] > 0 && dist > maxD {
+			maxD = dist
+		}
+	}
+	a := NewAxes(c, title, "degrees of separation", "number of node pairs",
+		0, float64(maxD)+1, 0.8, maxC*2, false, true)
+	for dist := 1; dist < len(d); dist++ {
+		if d[dist] <= 0 {
+			continue
+		}
+		x0, y0 := a.XY(float64(dist)-0.35, 0.8)
+		x1, y1 := a.XY(float64(dist)+0.35, d[dist])
+		c.Rect(x0, y1, x1-x0, y0-y1, "#4878CF")
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// ScatterSpline renders one Figure 5 panel: a log-log scatter with the GAM
+// spline and its 95% band. xs/ys are raw values (non-positives dropped);
+// curve is in log10 space as produced by core's CentralityPair.
+func ScatterSpline(w io.Writer, xs, ys []float64, curve []stats.CurvePoint, title, xlabel, ylabel string) error {
+	c := NewCanvas(560, 400)
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, xs[i])
+			ly = append(ly, ys[i])
+		}
+	}
+	if len(lx) == 0 {
+		_, err := c.WriteTo(w)
+		return err
+	}
+	minX, maxX := lx[0], lx[0]
+	minY, maxY := ly[0], ly[0]
+	for i := range lx {
+		minX = math.Min(minX, lx[i])
+		maxX = math.Max(maxX, lx[i])
+		minY = math.Min(minY, ly[i])
+		maxY = math.Max(maxY, ly[i])
+	}
+	a := NewAxes(c, title, xlabel, ylabel, minX, maxX*1.2, minY, maxY*1.5, true, true)
+	// Subsample heavy scatters for file-size sanity.
+	step := 1
+	if len(lx) > 4000 {
+		step = len(lx) / 4000
+	}
+	for i := 0; i < len(lx); i += step {
+		px, py := a.XY(lx[i], ly[i])
+		c.Circle(px, py, 1.2, "#808080", 0.35)
+	}
+	if len(curve) > 1 {
+		// Band polygon: upper path then reversed lower path. Curve
+		// coordinates are log10; convert back to raw for XY.
+		var bx, by []float64
+		for _, cp := range curve {
+			px, py := a.XY(math.Pow(10, cp.X), math.Pow(10, cp.Hi))
+			bx = append(bx, px)
+			by = append(by, py)
+		}
+		for i := len(curve) - 1; i >= 0; i-- {
+			cp := curve[i]
+			px, py := a.XY(math.Pow(10, cp.X), math.Pow(10, cp.Lo))
+			bx = append(bx, px)
+			by = append(by, py)
+		}
+		c.Polygon(bx, by, "#d62728", 0.18)
+		var sx, sy []float64
+		for _, cp := range curve {
+			px, py := a.XY(math.Pow(10, cp.X), math.Pow(10, cp.Y))
+			sx = append(sx, px)
+			sy = append(sy, py)
+		}
+		c.Polyline(sx, sy, "#d62728", 2)
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// Calendar renders Figure 6: a GitHub-style year heatmap, one column per
+// ISO week, one row per weekday, intensity from value quantiles.
+func Calendar(w io.Writer, s *timeseries.DailySeries, title string) error {
+	const cell = 11
+	weeks := s.Len()/7 + 3
+	width := 60 + weeks*cell + 20
+	c := NewCanvas(width, 40+7*cell+40)
+	c.Text(float64(width)/2, 20, title, 13, "middle", "black")
+	// Quantile color scale.
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	colors := []string{"#eeeeee", "#c6dbef", "#6baed6", "#2171b5", "#08306b"}
+	colorOf := func(v float64) string {
+		for i, q := range []float64{0.2, 0.4, 0.6, 0.8} {
+			if v <= stats.Quantile(sorted, q) {
+				return colors[i]
+			}
+		}
+		return colors[4]
+	}
+	weekday := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	for i, name := range weekday {
+		c.Text(50, float64(40+i*cell+8), name, 8, "end", "black")
+	}
+	startOffset := int(s.Start.Weekday())
+	lastMonth := time.Month(0)
+	for i := 0; i < s.Len(); i++ {
+		date := s.Date(i)
+		col := (i + startOffset) / 7
+		row := int(date.Weekday())
+		x := float64(60 + col*cell)
+		y := float64(40 + row*cell)
+		c.Rect(x, y, cell-1, cell-1, colorOf(s.Values[i]))
+		if date.Month() != lastMonth {
+			c.Text(x, 36, date.Month().String()[:3], 8, "start", "black")
+			lastMonth = date.Month()
+		}
+	}
+	_, err := c.WriteTo(w)
+	return err
+}

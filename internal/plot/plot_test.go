@@ -1,0 +1,148 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"elites/internal/mathx"
+	"elites/internal/stats"
+	"elites/internal/timeseries"
+)
+
+func checkSVG(t *testing.T, buf *bytes.Buffer, wantElems ...string) {
+	t.Helper()
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatalf("not a complete SVG document:\n%.120s ... %.40s", s, s[len(s)-40:])
+	}
+	for _, e := range wantElems {
+		if !strings.Contains(s, e) {
+			t.Fatalf("SVG missing %q", e)
+		}
+	}
+	// No NaN/Inf coordinates may leak into the document.
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(s, bad) {
+			t.Fatalf("SVG contains %s coordinates", bad)
+		}
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(200, 100)
+	c.Line(0, 0, 10, 10, "black", 1)
+	c.Circle(5, 5, 2, "red", 0.5)
+	c.Rect(1, 1, 5, 5, "blue")
+	c.Polyline([]float64{0, 1, 2}, []float64{0, 1, 0}, "green", 1)
+	c.Polygon([]float64{0, 1, 2}, []float64{0, 1, 0}, "gray", 0.3)
+	c.Text(3, 3, `a<b&"c"`, 10, "middle", "black")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "<line", "<circle", "<rect", "<polyline", "<polygon", "&lt;b&amp;")
+}
+
+func TestLogHistogramFigure(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.LogNormal(5, 1.5)
+	}
+	h := stats.NewLogHistogram(xs, 25)
+	var buf bytes.Buffer
+	if err := LogHistogram(&buf, h, "Figure 1(a)", "friends"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "Figure 1(a)", "number of users", "<line")
+}
+
+func TestFrequencySeriesFigure(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	deg := make([]int, 8000)
+	for i := range deg {
+		deg[i] = rng.ParetoInt(1, 2.8)
+	}
+	pts := stats.DegreeFrequency(deg)
+	var buf bytes.Buffer
+	if err := FrequencySeries(&buf, pts, 2.8, 5, "Figure 2"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "Figure 2", "fitted power law", "<circle")
+	// Empty input still yields a valid document.
+	var empty bytes.Buffer
+	if err := FrequencySeries(&empty, nil, 0, 0, "t"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &empty)
+}
+
+func TestDistanceHistogramFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DistanceHistogram(&buf, []float64{0, 100, 5000, 300, 4}, "Figure 3"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "Figure 3", "<rect")
+}
+
+func TestScatterSplineFigure(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	n := 800
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.LogNormal(0, 1)
+		ys[i] = xs[i] * rng.LogNormal(2, 0.4)
+	}
+	curve := []stats.CurvePoint{
+		{X: -1, Y: 1, Lo: 0.8, Hi: 1.2},
+		{X: 0, Y: 2, Lo: 1.8, Hi: 2.2},
+		{X: 1, Y: 3, Lo: 2.8, Hi: 3.2},
+	}
+	var buf bytes.Buffer
+	if err := ScatterSpline(&buf, xs, ys, curve, "Figure 5(d)", "pagerank", "followers"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "Figure 5(d)", "<polygon", "<polyline", "<circle")
+}
+
+func TestScatterSplineSubsamples(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1 + rng.Float64()*100
+		ys[i] = 1 + rng.Float64()*100
+	}
+	var buf bytes.Buffer
+	if err := ScatterSpline(&buf, xs, ys, nil, "big", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if circles := strings.Count(buf.String(), "<circle"); circles > 6000 {
+		t.Fatalf("scatter not subsampled: %d circles", circles)
+	}
+}
+
+func TestCalendarFigure(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	vals := make([]float64, 366)
+	for i := range vals {
+		vals[i] = 100 + 10*rng.Normal()
+	}
+	s := &timeseries.DailySeries{
+		Start:  time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC),
+		Values: vals,
+	}
+	var buf bytes.Buffer
+	if err := Calendar(&buf, s, "Figure 6"); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, &buf, "Figure 6", "Jun", "Dec", "Sun", "Sat")
+	// 366 day cells plus background.
+	if rects := strings.Count(buf.String(), "<rect"); rects < 366 {
+		t.Fatalf("calendar has %d rects, want >= 366", rects)
+	}
+}

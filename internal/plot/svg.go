@@ -1,0 +1,215 @@
+// Package plot renders the paper's figures as standalone SVG documents:
+// log-log scatter plots with GAM splines and confidence bands (Figure 5),
+// log-binned histograms (Figure 1), log-log frequency series (Figure 2),
+// distance histograms (Figure 3) and calendar heatmaps (Figure 6). The SVG
+// generator is minimal and dependency-free; output opens in any browser.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Canvas accumulates SVG elements within a fixed viewport.
+type Canvas struct {
+	W, H int
+	b    strings.Builder
+}
+
+// NewCanvas starts an SVG document of the given pixel size.
+func NewCanvas(w, h int) *Canvas {
+	c := &Canvas{W: w, H: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+// Line draws a straight segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Circle draws a dot.
+func (c *Canvas) Circle(x, y, r float64, fill string, opacity float64) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		x, y, r, fill, opacity)
+}
+
+// Rect draws a filled rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+// Polyline draws a connected path.
+func (c *Canvas) Polyline(xs, ys []float64, stroke string, width float64) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		fmt.Fprintf(&pts, "%.1f,%.1f ", xs[i], ys[i])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		strings.TrimSpace(pts.String()), stroke, width)
+}
+
+// Polygon draws a filled region (used for confidence bands).
+func (c *Canvas) Polygon(xs, ys []float64, fill string, opacity float64) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		fmt.Fprintf(&pts, "%.1f,%.1f ", xs[i], ys[i])
+	}
+	fmt.Fprintf(&c.b, `<polygon points="%s" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		strings.TrimSpace(pts.String()), fill, opacity)
+}
+
+// Text places a label; anchor is "start", "middle" or "end".
+func (c *Canvas) Text(x, y float64, s string, size int, anchor string, fill string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s" fill="%s">%s</text>`+"\n",
+		x, y, size, anchor, fill, escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteTo finishes the document and writes it.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, c.b.String()+"</svg>\n")
+	return int64(n), err
+}
+
+// Axes describes a plotting area with optionally logarithmic scales.
+type Axes struct {
+	c                      *Canvas
+	left, right, top, bott float64
+	xmin, xmax, ymin, ymax float64
+	logX, logY             bool
+}
+
+// NewAxes lays out a plot area with margins and draws the frame, tick labels
+// and axis titles.
+func NewAxes(c *Canvas, title, xlabel, ylabel string, xmin, xmax, ymin, ymax float64, logX, logY bool) *Axes {
+	a := &Axes{
+		c: c, left: 70, right: float64(c.W) - 20, top: 40, bott: float64(c.H) - 50,
+		xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax, logX: logX, logY: logY,
+	}
+	if logX {
+		a.xmin, a.xmax = math.Log10(math.Max(xmin, 1e-300)), math.Log10(math.Max(xmax, 1e-300))
+	}
+	if logY {
+		a.ymin, a.ymax = math.Log10(math.Max(ymin, 1e-300)), math.Log10(math.Max(ymax, 1e-300))
+	}
+	if a.xmax <= a.xmin {
+		a.xmax = a.xmin + 1
+	}
+	if a.ymax <= a.ymin {
+		a.ymax = a.ymin + 1
+	}
+	// Frame.
+	c.Line(a.left, a.top, a.left, a.bott, "black", 1)
+	c.Line(a.left, a.bott, a.right, a.bott, "black", 1)
+	c.Text(float64(c.W)/2, 22, title, 14, "middle", "black")
+	c.Text((a.left+a.right)/2, float64(c.H)-12, xlabel, 11, "middle", "black")
+	c.Text(16, (a.top+a.bott)/2, ylabel, 11, "middle", "black")
+	a.drawTicks()
+	return a
+}
+
+func (a *Axes) drawTicks() {
+	ticks := func(lo, hi float64, log bool) []float64 {
+		var out []float64
+		if log {
+			for e := math.Floor(lo); e <= math.Ceil(hi); e++ {
+				if e >= lo-1e-9 && e <= hi+1e-9 {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		step := niceStep(hi - lo)
+		for v := math.Ceil(lo/step) * step; v <= hi+1e-9; v += step {
+			out = append(out, v)
+		}
+		return out
+	}
+	for _, tx := range ticks(a.xmin, a.xmax, a.logX) {
+		px := a.px(tx)
+		a.c.Line(px, a.bott, px, a.bott+4, "black", 1)
+		a.c.Text(px, a.bott+16, tickLabel(tx, a.logX), 9, "middle", "black")
+	}
+	for _, ty := range ticks(a.ymin, a.ymax, a.logY) {
+		py := a.py(ty)
+		a.c.Line(a.left-4, py, a.left, py, "black", 1)
+		a.c.Text(a.left-6, py+3, tickLabel(ty, a.logY), 9, "end", "black")
+	}
+}
+
+func tickLabel(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%d", int(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func niceStep(span float64) float64 {
+	if span <= 0 {
+		return 1
+	}
+	raw := span / 6
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// px maps a data x (already logged if logX) to pixels.
+func (a *Axes) px(x float64) float64 {
+	return a.left + (x-a.xmin)/(a.xmax-a.xmin)*(a.right-a.left)
+}
+
+func (a *Axes) py(y float64) float64 {
+	return a.bott - (y-a.ymin)/(a.ymax-a.ymin)*(a.bott-a.top)
+}
+
+// XY maps raw data coordinates to pixels, applying log scales as
+// configured; non-positive values on a log axis are clamped to the axis
+// minimum.
+func (a *Axes) XY(x, y float64) (float64, float64) {
+	if a.logX {
+		if x <= 0 {
+			x = a.xmin
+		} else {
+			x = math.Log10(x)
+		}
+	}
+	if a.logY {
+		if y <= 0 {
+			y = a.ymin
+		} else {
+			y = math.Log10(y)
+		}
+	}
+	return a.px(clampF(x, a.xmin, a.xmax)), a.py(clampF(y, a.ymin, a.ymax))
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"elites/internal/graph"
+	"elites/internal/linalg"
+	"elites/internal/mathx"
+)
+
+func denseLaplacian(g *graph.Digraph) *linalg.Matrix {
+	und := g.Undirected()
+	n := und.NumNodes()
+	m := linalg.NewMatrix(n, n)
+	for u := 0; u < n; u++ {
+		m.Set(u, u, float64(und.OutDegree(u)))
+		for _, v := range und.OutNeighbors(u) {
+			m.Set(u, int(v), -1)
+		}
+	}
+	return m
+}
+
+func randomDigraph(rng *mathx.RNG, n int, p float64) *graph.Digraph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Bool(p) {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestLaplacianOperatorMatchesDense(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	g := randomDigraph(rng, 25, 0.1)
+	op := NewLaplacianOperator(g)
+	dense := denseLaplacian(g)
+	x := make([]float64, op.Dim())
+	for i := range x {
+		x[i] = rng.Normal()
+	}
+	got := make([]float64, op.Dim())
+	op.Apply(got, x)
+	want := dense.MulVec(x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("Laplacian apply mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAdjacencyOperatorRowSums(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	g := randomDigraph(rng, 20, 0.15)
+	op := NewAdjacencyOperator(g)
+	ones := make([]float64, op.Dim())
+	for i := range ones {
+		ones[i] = 1
+	}
+	out := make([]float64, op.Dim())
+	op.Apply(out, ones)
+	und := g.Undirected()
+	for u := range out {
+		if math.Abs(out[u]-float64(und.OutDegree(u))) > 1e-12 {
+			t.Fatalf("adjacency row sum at %d: %v vs degree %d", u, out[u], und.OutDegree(u))
+		}
+	}
+}
+
+func TestLanczosAgainstJacobi(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		g := randomDigraph(rng, 30, 0.12)
+		dense := denseLaplacian(g)
+		want, _, err := linalg.JacobiEigen(dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := NewLaplacianOperator(g)
+		k := 5
+		got, err := TopEigenvaluesLanczos(op, k, 30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < k {
+			t.Fatalf("got %d eigenvalues, want %d", len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d λ[%d] = %v, want %v (all got %v want %v)",
+					trial, i, got[i], want[i], got[:k], want[:k])
+			}
+		}
+	}
+}
+
+func TestLanczosStarGraph(t *testing.T) {
+	// Undirected star with d leaves: Laplacian eigenvalues are d+1 (once),
+	// 1 (d-1 times), 0.
+	d := 12
+	b := graph.NewBuilder(d + 1)
+	for i := 1; i <= d; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	rng := mathx.NewRNG(4)
+	op := NewLaplacianOperator(g)
+	got, err := TopEigenvaluesLanczos(op, 3, d+1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-float64(d+1)) > 1e-8 {
+		t.Fatalf("star λ_max = %v, want %d", got[0], d+1)
+	}
+	if math.Abs(got[1]-1) > 1e-8 {
+		t.Fatalf("star λ_2 = %v, want 1", got[1])
+	}
+}
+
+func TestPowerIterationAgainstLanczos(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	g := randomDigraph(rng, 40, 0.1)
+	op := NewLaplacianOperator(g)
+	k := 4
+	lz, err := TopEigenvaluesLanczos(op, k, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := TopEigenvaluesPower(op, k, 2000, 1e-12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(pw)))
+	for i := 0; i < k; i++ {
+		if math.Abs(lz[i]-pw[i]) > 1e-3*(1+lz[i]) {
+			t.Fatalf("λ[%d]: Lanczos %v vs power %v", i, lz[i], pw[i])
+		}
+	}
+}
+
+func TestLaplacianEigenvaluesNonNegative(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	g := randomDigraph(rng, 50, 0.05)
+	op := NewLaplacianOperator(g)
+	evs, err := TopEigenvaluesLanczos(op, 10, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev < -1e-8 {
+			t.Fatalf("negative Laplacian eigenvalue: %v", ev)
+		}
+	}
+	// λ_max ∈ [maxDeg+1, 2·maxDeg] for graphs with at least one edge.
+	maxDeg := op.MaxDegree()
+	if evs[0] < maxDeg+1-1e-6 || evs[0] > 2*maxDeg+1e-6 {
+		t.Fatalf("λ_max = %v outside [%v, %v]", evs[0], maxDeg+1, 2*maxDeg)
+	}
+}
+
+func TestEigSolverEdgeCases(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	empty := graph.NewBuilder(0).Build()
+	if evs, err := TopEigenvaluesLanczos(NewLaplacianOperator(empty), 3, 10, rng); err != nil || evs != nil {
+		t.Fatalf("empty graph: %v %v", evs, err)
+	}
+	g := graph.FromEdges(3, [][2]int{{0, 1}})
+	if _, err := TopEigenvaluesLanczos(NewLaplacianOperator(g), 0, 10, rng); err != ErrBadParam {
+		t.Fatal("k=0 should be rejected")
+	}
+	// k > n clamps.
+	evs, err := TopEigenvaluesLanczos(NewLaplacianOperator(g), 10, 10, rng)
+	if err != nil || len(evs) > 3 {
+		t.Fatalf("clamp failed: %v %v", evs, err)
+	}
+	if _, err := TopEigenvaluesPower(NewLaplacianOperator(g), -1, 10, 0, rng); err != ErrBadParam {
+		t.Fatal("power k<0 should be rejected")
+	}
+}
+
+func TestDenseOperator(t *testing.T) {
+	m := linalg.NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 7)
+	op := &DenseOperator{M: m}
+	rng := mathx.NewRNG(8)
+	evs, err := TopEigenvaluesLanczos(op, 2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(evs[0]-7) > 1e-9 || math.Abs(evs[1]-2) > 1e-9 {
+		t.Fatalf("dense eigs = %v", evs)
+	}
+}
+
+func TestLanczosDisconnectedGraph(t *testing.T) {
+	// Two disjoint triangles: Laplacian spectrum {3,3,3,3,0,0}; the
+	// invariant-subspace restart must find eigenvalues across components.
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	rng := mathx.NewRNG(9)
+	evs, err := TopEigenvaluesLanczos(NewLaplacianOperator(g), 4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(evs[i]-3) > 1e-7 {
+			t.Fatalf("disconnected spectrum = %v, want four 3s", evs)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package stats provides the descriptive and regression statistics behind
+// the paper's figures: summary statistics, linear and logarithmic histograms
+// (Figure 1), complementary CDFs (Figure 2), Pearson and Spearman
+// correlations, ordinary least squares (the building block of the ADF test),
+// and a penalized B-spline "GAM-style" smoother with GCV-chosen smoothing
+// and ±1.96·SE confidence bands (the regression splines of Figure 5).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"elites/internal/mathx"
+)
+
+// ErrEmpty indicates an empty input sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrMismatch indicates paired samples of different lengths.
+var ErrMismatch = errors.New("stats: length mismatch")
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Var, Std     float64
+	Min, Max           float64
+	Median, Q1, Q3     float64
+	Skewness, Kurtosis float64 // kurtosis is excess kurtosis
+}
+
+// Summarize computes a Summary. Variance is the unbiased (n−1) estimator.
+func Summarize(xs []float64) (Summary, error) {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var s Summary
+	s.N = n
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - s.Mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	if n > 1 {
+		s.Var = m2 / float64(n-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	if m2 > 0 {
+		popVar := m2 / float64(n)
+		s.Skewness = (m3 / float64(n)) / math.Pow(popVar, 1.5)
+		s.Kurtosis = (m4/float64(n))/(popVar*popVar) - 3
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Q3 = Quantile(sorted, 0.75)
+	return s, nil
+}
+
+// Quantile returns the p-quantile (linear interpolation, type-7) of an
+// ascending-sorted sample.
+func Quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatch
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, ErrEmpty
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Spearman returns the Spearman rank correlation (Pearson on midranks; ties
+// receive the average of the ranks they span).
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatch
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	return Pearson(rx, ry)
+}
+
+// Ranks returns 1-based midranks of the sample.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// CorrelationTest reports the t-test p-value for H0: ρ=0 given a Pearson
+// correlation r on n pairs.
+func CorrelationTest(r float64, n int) float64 {
+	if n < 3 || math.Abs(r) >= 1 {
+		if math.Abs(r) >= 1 {
+			return 0
+		}
+		return 1
+	}
+	t := r * math.Sqrt(float64(n-2)/(1-r*r))
+	return 2 * mathx.StudentTSF(math.Abs(t), float64(n-2))
+}

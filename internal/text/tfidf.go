@@ -1,0 +1,79 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// DistinctiveTerm is a term scored by how characteristic it is of one group
+// of documents relative to the others.
+type DistinctiveTerm struct {
+	Term  string
+	Score float64 // tf·idf with idf over groups
+	Count int     // raw occurrences within the group
+}
+
+// DistinctiveTerms computes, for each named group of documents (e.g. bios
+// per user category), the terms that most distinguish it: term frequency
+// within the group times log(#groups / #groups containing the term).
+// Stopwords and single-rune tokens are excluded. Used for the topical-
+// homophily analysis (Semertzidis et al. in the paper's related work: "how
+// people describe themselves").
+func DistinctiveTerms(groups map[string][]string, topK int) map[string][]DistinctiveTerm {
+	if topK <= 0 {
+		topK = 10
+	}
+	// Per-group term counts and group document frequency.
+	counts := make(map[string]map[string]int, len(groups))
+	groupsWith := make(map[string]int)
+	for name, docs := range groups {
+		c := make(map[string]int)
+		for _, doc := range docs {
+			for _, tok := range Tokenize(doc) {
+				if IsStopword(tok) || len([]rune(tok)) < 2 {
+					continue
+				}
+				c[tok]++
+			}
+		}
+		counts[name] = c
+		for term := range c {
+			groupsWith[term]++
+		}
+	}
+	nGroups := float64(len(groups))
+	out := make(map[string][]DistinctiveTerm, len(groups))
+	for name, c := range counts {
+		total := 0
+		for _, n := range c {
+			total += n
+		}
+		if total == 0 {
+			out[name] = nil
+			continue
+		}
+		terms := make([]DistinctiveTerm, 0, len(c))
+		for term, n := range c {
+			idf := math.Log((nGroups + 1) / (float64(groupsWith[term]) + 0.5))
+			if idf <= 0 {
+				continue
+			}
+			terms = append(terms, DistinctiveTerm{
+				Term:  term,
+				Score: float64(n) / float64(total) * idf,
+				Count: n,
+			})
+		}
+		sort.Slice(terms, func(i, j int) bool {
+			if terms[i].Score != terms[j].Score {
+				return terms[i].Score > terms[j].Score
+			}
+			return terms[i].Term < terms[j].Term
+		})
+		if len(terms) > topK {
+			terms = terms[:topK]
+		}
+		out[name] = terms
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package text
+
+import "testing"
+
+func TestDistinctiveTermsSeparatesGroups(t *testing.T) {
+	groups := map[string][]string{
+		"journalist": {
+			"award winning journalist covering politics",
+			"journalist and editor breaking news",
+			"news reporter journalist",
+		},
+		"athlete": {
+			"professional rugby player",
+			"olympic athlete and rugby player",
+			"rugby player for the tigers",
+		},
+	}
+	out := DistinctiveTerms(groups, 5)
+	if len(out) != 2 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	hasTerm := func(terms []DistinctiveTerm, want string) bool {
+		for _, tt := range terms {
+			if tt.Term == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasTerm(out["journalist"], "journalist") {
+		t.Fatalf("journalist terms = %v", out["journalist"])
+	}
+	if !hasTerm(out["athlete"], "rugby") {
+		t.Fatalf("athlete terms = %v", out["athlete"])
+	}
+	// Shared terms ("player" appears only in athlete; "and" is a
+	// stopword) must not leak stopwords.
+	for _, terms := range out {
+		for _, tt := range terms {
+			if IsStopword(tt.Term) {
+				t.Fatalf("stopword %q leaked", tt.Term)
+			}
+			if tt.Count <= 0 || tt.Score <= 0 {
+				t.Fatalf("bad term stats: %+v", tt)
+			}
+		}
+	}
+}
+
+func TestDistinctiveTermsSharedTermsSuppressed(t *testing.T) {
+	groups := map[string][]string{
+		"a": {"common alpha alpha", "common alpha"},
+		"b": {"common beta beta", "common beta"},
+		"c": {"common gamma gamma", "common gamma"},
+	}
+	out := DistinctiveTerms(groups, 3)
+	for name, terms := range out {
+		if len(terms) == 0 {
+			t.Fatalf("group %s empty", name)
+		}
+		if terms[0].Term == "common" {
+			t.Fatalf("group %s: shared term ranked first", name)
+		}
+	}
+}
+
+func TestDistinctiveTermsEmptyGroup(t *testing.T) {
+	out := DistinctiveTerms(map[string][]string{
+		"full":  {"hello world"},
+		"empty": {},
+	}, 5)
+	if out["empty"] != nil {
+		t.Fatalf("empty group terms = %v", out["empty"])
+	}
+}
+
+func TestDistinctiveTermsTopKClamp(t *testing.T) {
+	out := DistinctiveTerms(map[string][]string{
+		"a": {"one two three four five six"},
+		"b": {"seven eight"},
+	}, 2)
+	if len(out["a"]) > 2 {
+		t.Fatalf("topK not applied: %v", out["a"])
+	}
+	// topK <= 0 defaults.
+	out = DistinctiveTerms(map[string][]string{"a": {"x yz zz"}, "b": {"ww"}}, 0)
+	if out == nil {
+		t.Fatal("default topK failed")
+	}
+}

@@ -1,0 +1,91 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CloudEntry is a word with the weight that controls its render size.
+type CloudEntry struct {
+	Word   string
+	Count  int
+	Weight float64 // normalized to (0, 1]
+}
+
+// BuildCloud converts top unigrams into weighted cloud entries, weighting by
+// sqrt of the count ratio so mid-frequency words remain visible — the usual
+// word-cloud scaling.
+func BuildCloud(grams []NGram) []CloudEntry {
+	if len(grams) == 0 {
+		return nil
+	}
+	maxCount := grams[0].Count
+	for _, g := range grams {
+		if g.Count > maxCount {
+			maxCount = g.Count
+		}
+	}
+	out := make([]CloudEntry, len(grams))
+	for i, g := range grams {
+		out[i] = CloudEntry{
+			Word:   g.Phrase(),
+			Count:  g.Count,
+			Weight: math.Sqrt(float64(g.Count) / float64(maxCount)),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
+}
+
+// RenderASCII lays the cloud out as rows of words in five size buckets,
+// largest first, wrapped to the given width. It is the terminal stand-in for
+// the paper's Figure 4 graphic.
+func RenderASCII(cloud []CloudEntry, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	styles := []struct {
+		min    float64
+		format string
+	}{
+		{0.8, "█ %s █"},
+		{0.6, "▓ %s ▓"},
+		{0.4, "▒ %s ▒"},
+		{0.2, "░ %s ░"},
+		{0.0, "%s"},
+	}
+	lineLen := 0
+	for _, e := range cloud {
+		var word string
+		for _, s := range styles {
+			if e.Weight >= s.min {
+				if e.Weight >= 0.6 {
+					word = fmt.Sprintf(s.format, strings.ToUpper(e.Word))
+				} else {
+					word = fmt.Sprintf(s.format, e.Word)
+				}
+				break
+			}
+		}
+		w := len([]rune(word)) + 2
+		if lineLen+w > width && lineLen > 0 {
+			b.WriteByte('\n')
+			lineLen = 0
+		}
+		b.WriteString(word)
+		b.WriteString("  ")
+		lineLen += w
+	}
+	if lineLen > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

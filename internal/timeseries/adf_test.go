@@ -1,0 +1,136 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"elites/internal/mathx"
+)
+
+func TestADFRejectsOnStationaryAR1(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	n := 366
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.5*x[i-1] + rng.Normal()
+	}
+	res, err := ADF(x, RegConstantTrend, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Fatalf("AR(0.5) not detected stationary: stat %v crit5 %v", res.Statistic, res.Crit5)
+	}
+	if res.PValue > 0.05 {
+		t.Fatalf("p = %v, want < 0.05", res.PValue)
+	}
+}
+
+func TestADFAcceptsRandomWalk(t *testing.T) {
+	// Unit root: rejection rate at 5% should be ≈5%, definitely not high.
+	rng := mathx.NewRNG(2)
+	const trials = 40
+	reject := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 300
+		x := make([]float64, n)
+		for i := 1; i < n; i++ {
+			x[i] = x[i-1] + rng.Normal()
+		}
+		res, err := ADF(x, RegConstantTrend, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stationary() {
+			reject++
+		}
+	}
+	if reject > 8 {
+		t.Fatalf("random walk rejected %d/%d times at 5%%", reject, trials)
+	}
+}
+
+func TestADFTrendStationary(t *testing.T) {
+	// y = trend + AR(1) noise: with trend term included, should reject
+	// the unit root.
+	rng := mathx.NewRNG(3)
+	n := 366
+	x := make([]float64, n)
+	ar := 0.0
+	for i := 0; i < n; i++ {
+		ar = 0.4*ar + rng.Normal()
+		x[i] = 0.05*float64(i) + ar
+	}
+	res, err := ADF(x, RegConstantTrend, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Fatalf("trend-stationary series not detected: stat %v", res.Statistic)
+	}
+}
+
+func TestMacKinnonCritKnownValues(t *testing.T) {
+	// Asymptotic values (T→∞): ct 5% ≈ −3.41, c 5% ≈ −2.86, nc 5% ≈ −1.94.
+	_, c5, _ := MacKinnonCrit(RegConstantTrend, 1000000)
+	if math.Abs(c5-(-3.41049)) > 1e-3 {
+		t.Fatalf("ct crit5 asymptotic = %v", c5)
+	}
+	_, c5c, _ := MacKinnonCrit(RegConstant, 1000000)
+	if math.Abs(c5c-(-2.86154)) > 1e-3 {
+		t.Fatalf("c crit5 asymptotic = %v", c5c)
+	}
+	_, c5n, _ := MacKinnonCrit(RegNone, 1000000)
+	if math.Abs(c5n-(-1.94100)) > 1e-3 {
+		t.Fatalf("nc crit5 asymptotic = %v", c5n)
+	}
+	// The paper's critical value for upwards of 250 observations: −3.42
+	// with constant and trend at 95%.
+	_, c5p, _ := MacKinnonCrit(RegConstantTrend, 360)
+	if math.Abs(c5p-(-3.42)) > 0.01 {
+		t.Fatalf("ct crit5 at T=360 = %v, paper cites −3.42", c5p)
+	}
+	// Ordering: 1% < 5% < 10% (more negative is stricter).
+	c1, c5o, c10 := MacKinnonCrit(RegConstantTrend, 366)
+	if !(c1 < c5o && c5o < c10) {
+		t.Fatalf("crit ordering wrong: %v %v %v", c1, c5o, c10)
+	}
+}
+
+func TestADFPValueMonotone(t *testing.T) {
+	c1, c5, c10 := MacKinnonCrit(RegConstantTrend, 366)
+	pAt := func(stat float64) float64 { return mackinnonApproxP(stat, c1, c5, c10) }
+	if !(pAt(-5) < pAt(-3.8) && pAt(-3.8) < pAt(-3.2) && pAt(-3.2) < pAt(-1)) {
+		t.Fatal("approx p not monotone in statistic")
+	}
+	if math.Abs(pAt(c5)-0.05) > 1e-9 {
+		t.Fatalf("p at crit5 = %v, want 0.05", pAt(c5))
+	}
+	if math.Abs(pAt(c1)-0.01) > 1e-9 {
+		t.Fatalf("p at crit1 = %v, want 0.01", pAt(c1))
+	}
+}
+
+func TestADFShortSeries(t *testing.T) {
+	if _, err := ADF([]float64{1, 2, 3}, RegConstant, -1); err != ErrShortSeries {
+		t.Fatal("short series should error")
+	}
+}
+
+func TestADFLagSelectionPositive(t *testing.T) {
+	// AR(2) with a heavy second lag: Δy_t = −0.2·y_{t−1} − 0.5·Δy_{t−1} + ε,
+	// so the augmentation term is strong and AIC must pick p ≥ 1.
+	rng := mathx.NewRNG(4)
+	n := 400
+	x := make([]float64, n)
+	for i := 2; i < n; i++ {
+		x[i] = 0.3*x[i-1] + 0.5*x[i-2] + rng.Normal()
+	}
+	res, err := ADF(x, RegConstant, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lags < 1 {
+		t.Fatalf("selected %d lags, want >= 1", res.Lags)
+	}
+}

@@ -1,0 +1,208 @@
+package timeseries
+
+import (
+	"math"
+	"sort"
+)
+
+// changepointStats holds prefix sums enabling O(1) Gaussian segment costs.
+type changepointStats struct {
+	n    int
+	sum  []float64 // sum[i] = Σ x[0..i)
+	sum2 []float64
+}
+
+func newChangepointStats(x []float64) *changepointStats {
+	n := len(x)
+	s := &changepointStats{
+		n:    n,
+		sum:  make([]float64, n+1),
+		sum2: make([]float64, n+1),
+	}
+	for i, v := range x {
+		s.sum[i+1] = s.sum[i] + v
+		s.sum2[i+1] = s.sum2[i] + v*v
+	}
+	return s
+}
+
+// cost returns the Gaussian negative twice-log-likelihood of the segment
+// x[a..b) with its MLE mean and variance: n·(log 2π + log σ̂² + 1). A
+// variance floor keeps constant segments finite.
+func (s *changepointStats) cost(a, b int) float64 {
+	n := float64(b - a)
+	if n <= 0 {
+		return 0
+	}
+	mean := (s.sum[b] - s.sum[a]) / n
+	variance := (s.sum2[b]-s.sum2[a])/n - mean*mean
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return n * (math.Log(2*math.Pi) + math.Log(variance) + 1)
+}
+
+// PELT finds the optimal segmentation of x under the penalized Gaussian
+// (changing mean and variance) cost with penalty beta and minimum segment
+// length minSeg, using the Pruned Exact Linear Time algorithm of Killick,
+// Fearnhead & Eckley (2012) — the method the paper uses on the activity
+// series. It returns the sorted change-point indices (each index is the
+// first element of a new segment).
+func PELT(x []float64, beta float64, minSeg int) []int {
+	n := len(x)
+	if minSeg < 1 {
+		minSeg = 1
+	}
+	if n < 2*minSeg {
+		return nil
+	}
+	st := newChangepointStats(x)
+	const k = 0 // the Gaussian cost satisfies C(a,c) >= C(a,b)+C(b,c) with K=0
+	f := make([]float64, n+1)
+	prev := make([]int, n+1)
+	f[0] = -beta
+	for i := 1; i <= n; i++ {
+		f[i] = math.Inf(1)
+	}
+	candidates := []int{0}
+	for t := minSeg; t <= n; t++ {
+		bestVal := math.Inf(1)
+		bestTau := -1
+		for _, tau := range candidates {
+			if t-tau < minSeg {
+				continue
+			}
+			v := f[tau] + st.cost(tau, t) + beta
+			if v < bestVal {
+				bestVal = v
+				bestTau = tau
+			}
+		}
+		f[t] = bestVal
+		prev[t] = bestTau
+		// Prune: keep tau only if it could still be optimal later.
+		kept := candidates[:0]
+		for _, tau := range candidates {
+			if t-tau < minSeg || f[tau]+st.cost(tau, t)+k <= f[t] {
+				kept = append(kept, tau)
+			}
+		}
+		candidates = append(kept, t-minSeg+1)
+	}
+	// Backtrack.
+	var cps []int
+	t := n
+	for t > 0 {
+		tau := prev[t]
+		if tau <= 0 {
+			break
+		}
+		cps = append(cps, tau)
+		t = tau
+	}
+	sort.Ints(cps)
+	return cps
+}
+
+// BICPenalty returns the standard PELT penalty p·log(n) for Gaussian
+// segments with p=2 free parameters (mean and variance) plus the
+// change-point location.
+func BICPenalty(n int) float64 { return 3 * math.Log(float64(n)) }
+
+// BinarySegmentation is the classical greedy baseline: it recursively splits
+// at the single best change-point while the cost reduction exceeds the
+// penalty. Used by the ablation bench against PELT.
+func BinarySegmentation(x []float64, beta float64, minSeg int) []int {
+	if minSeg < 1 {
+		minSeg = 1
+	}
+	st := newChangepointStats(x)
+	var cps []int
+	var recurse func(a, b int)
+	recurse = func(a, b int) {
+		if b-a < 2*minSeg {
+			return
+		}
+		whole := st.cost(a, b)
+		bestGain := 0.0
+		bestSplit := -1
+		for s := a + minSeg; s+minSeg <= b; s++ {
+			gain := whole - st.cost(a, s) - st.cost(s, b)
+			if gain > bestGain {
+				bestGain = gain
+				bestSplit = s
+			}
+		}
+		if bestSplit < 0 || bestGain <= beta {
+			return
+		}
+		cps = append(cps, bestSplit)
+		recurse(a, bestSplit)
+		recurse(bestSplit, b)
+	}
+	recurse(0, len(x))
+	sort.Ints(cps)
+	return cps
+}
+
+// SweepCandidate is a change-point with the fraction of penalty settings
+// that retained it.
+type SweepCandidate struct {
+	Index     int
+	Stability float64
+}
+
+// PenaltySweep reproduces the paper's protocol: run PELT repeatedly while
+// "cooling down the penalty factor and ramping up the number of
+// change-points", then rank change-points by how many runs retained them
+// (±tol index slack groups near-identical detections). Penalties are a
+// geometric grid from hi down to lo.
+func PenaltySweep(x []float64, lo, hi float64, steps, minSeg, tol int) []SweepCandidate {
+	if steps < 2 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	type group struct {
+		repr  int
+		count int
+		sum   int
+	}
+	var groups []*group
+	ratio := math.Pow(lo/hi, 1/float64(steps-1))
+	beta := hi
+	for s := 0; s < steps; s++ {
+		for _, cp := range PELT(x, beta, minSeg) {
+			matched := false
+			for _, g := range groups {
+				if abs(cp-g.repr) <= tol {
+					g.count++
+					g.sum += cp
+					g.repr = g.sum / g.count
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				groups = append(groups, &group{repr: cp, count: 1, sum: cp})
+			}
+		}
+		beta *= ratio
+	}
+	out := make([]SweepCandidate, len(groups))
+	for i, g := range groups {
+		out[i] = SweepCandidate{Index: g.repr, Stability: float64(g.count) / float64(steps)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stability != out[j].Stability {
+			return out[i].Stability > out[j].Stability
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

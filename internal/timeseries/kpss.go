@@ -1,0 +1,198 @@
+package timeseries
+
+import (
+	"math"
+
+	"elites/internal/linalg"
+	"elites/internal/stats"
+)
+
+// KPSSResult reports a Kwiatkowski–Phillips–Schmidt–Shin test. KPSS inverts
+// the ADF hypotheses: the null is stationarity (level- or trend-), so for
+// the paper's §V claim the two tests should agree by ADF rejecting *and*
+// KPSS not rejecting — the standard confirmatory pairing.
+type KPSSResult struct {
+	// Statistic is the KPSS η statistic; larger values reject
+	// stationarity.
+	Statistic float64
+	// Lags is the Newey–West bandwidth used for the long-run variance.
+	Lags int
+	// Crit10, Crit5, Crit1 are the asymptotic critical values.
+	Crit10, Crit5, Crit1 float64
+	// Regression echoes the deterministic specification (RegConstant for
+	// level-stationarity, RegConstantTrend for trend-stationarity).
+	Regression Regression
+}
+
+// StationaryAt5 reports whether the stationarity null survives at the 5%
+// level.
+func (r *KPSSResult) StationaryAt5() bool { return r.Statistic < r.Crit5 }
+
+// KPSS runs the test with the given deterministic specification
+// (RegConstant or RegConstantTrend; RegNone is treated as RegConstant).
+// lags < 0 selects the Newey–West automatic bandwidth 4·(T/100)^0.25.
+func KPSS(y []float64, reg Regression, lags int) (*KPSSResult, error) {
+	t := len(y)
+	if t < 12 {
+		return nil, ErrShortSeries
+	}
+	if lags < 0 {
+		lags = int(4 * math.Pow(float64(t)/100, 0.25))
+	}
+	if lags >= t {
+		lags = t - 1
+	}
+	// Residuals from the deterministic regression.
+	var resid []float64
+	switch reg {
+	case RegConstantTrend:
+		trend := make([]float64, t)
+		for i := range trend {
+			trend[i] = float64(i + 1)
+		}
+		x, err := stats.DesignWithIntercept(trend)
+		if err != nil {
+			return nil, err
+		}
+		res, err := stats.OLS(x, y)
+		if err != nil {
+			return nil, err
+		}
+		resid = res.Residuals
+	default:
+		mean := 0.0
+		for _, v := range y {
+			mean += v
+		}
+		mean /= float64(t)
+		resid = make([]float64, t)
+		for i, v := range y {
+			resid[i] = v - mean
+		}
+	}
+	// Partial sums.
+	s := make([]float64, t)
+	cum := 0.0
+	for i, e := range resid {
+		cum += e
+		s[i] = cum
+	}
+	num := 0.0
+	for _, v := range s {
+		num += v * v
+	}
+	num /= float64(t) * float64(t)
+	// Long-run variance: Newey–West with Bartlett kernel.
+	lrv := linalg.Dot(resid, resid) / float64(t)
+	for l := 1; l <= lags; l++ {
+		w := 1 - float64(l)/float64(lags+1)
+		g := 0.0
+		for i := l; i < t; i++ {
+			g += resid[i] * resid[i-l]
+		}
+		lrv += 2 * w * g / float64(t)
+	}
+	if lrv <= 0 {
+		return nil, ErrADF
+	}
+	out := &KPSSResult{
+		Statistic:  num / lrv,
+		Lags:       lags,
+		Regression: reg,
+	}
+	if reg == RegConstantTrend {
+		out.Crit10, out.Crit5, out.Crit1 = 0.119, 0.146, 0.216
+	} else {
+		out.Crit10, out.Crit5, out.Crit1 = 0.347, 0.463, 0.739
+	}
+	return out, nil
+}
+
+// Decomposition splits a daily series into a centered-moving-average trend,
+// a weekday seasonal component and a remainder — the classical additive
+// decomposition at weekly period, used to visualize and quantify the
+// Sunday dip.
+type Decomposition struct {
+	Trend     []float64
+	Seasonal  []float64 // repeats with period 7, aligned to the series
+	Remainder []float64
+	// SeasonalStrength is Hyndman's F_s = max(0, 1 − Var(R)/Var(S+R)).
+	SeasonalStrength float64
+}
+
+// Decompose performs the additive weekly decomposition. The series must
+// cover at least three weeks.
+func Decompose(s *DailySeries) (*Decomposition, error) {
+	n := s.Len()
+	if n < 21 {
+		return nil, ErrShortSeries
+	}
+	y := s.Values
+	// Centered 7-term moving average (endpoints use shrinking windows).
+	trend := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i-3, i+3
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += y[j]
+		}
+		trend[i] = sum / float64(hi-lo+1)
+	}
+	// Weekday means of the detrended series.
+	var wkSum [7]float64
+	var wkCnt [7]float64
+	for i := 0; i < n; i++ {
+		w := int(s.Date(i).Weekday())
+		wkSum[w] += y[i] - trend[i]
+		wkCnt[w]++
+	}
+	var wk [7]float64
+	meanAdj := 0.0
+	for w := 0; w < 7; w++ {
+		if wkCnt[w] > 0 {
+			wk[w] = wkSum[w] / wkCnt[w]
+		}
+		meanAdj += wk[w]
+	}
+	meanAdj /= 7 // center the seasonal component
+	seasonal := make([]float64, n)
+	remainder := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := int(s.Date(i).Weekday())
+		seasonal[i] = wk[w] - meanAdj
+		remainder[i] = y[i] - trend[i] - seasonal[i]
+	}
+	// Seasonal strength.
+	varOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, v := range xs {
+			m += v
+		}
+		m /= float64(len(xs))
+		ss := 0.0
+		for _, v := range xs {
+			ss += (v - m) * (v - m)
+		}
+		return ss / float64(len(xs))
+	}
+	sr := make([]float64, n)
+	for i := range sr {
+		sr[i] = seasonal[i] + remainder[i]
+	}
+	strength := 0.0
+	if v := varOf(sr); v > 0 {
+		strength = math.Max(0, 1-varOf(remainder)/v)
+	}
+	return &Decomposition{
+		Trend:            trend,
+		Seasonal:         seasonal,
+		Remainder:        remainder,
+		SeasonalStrength: strength,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"elites/internal/mathx"
+)
+
+func TestKPSSAcceptsStationary(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	x := make([]float64, 400)
+	for i := 1; i < len(x); i++ {
+		x[i] = 0.4*x[i-1] + rng.Normal()
+	}
+	res, err := KPSS(x, RegConstant, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StationaryAt5() {
+		t.Fatalf("stationary AR rejected: stat %v crit %v", res.Statistic, res.Crit5)
+	}
+}
+
+func TestKPSSRejectsRandomWalk(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	reject := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 400)
+		for i := 1; i < len(x); i++ {
+			x[i] = x[i-1] + rng.Normal()
+		}
+		res, err := KPSS(x, RegConstant, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.StationaryAt5() {
+			reject++
+		}
+	}
+	// The test should reject random walks most of the time.
+	if reject < trials*3/5 {
+		t.Fatalf("random walk rejected only %d/%d times", reject, trials)
+	}
+}
+
+func TestKPSSTrendVariant(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	// Trend-stationary series: trend KPSS accepts, level KPSS rejects.
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = 0.5*float64(i) + rng.Normal()*3
+	}
+	lvl, err := KPSS(x, RegConstant, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trd, err := KPSS(x, RegConstantTrend, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.StationaryAt5() {
+		t.Fatalf("level KPSS accepted a trending series: %v", lvl.Statistic)
+	}
+	if !trd.StationaryAt5() {
+		t.Fatalf("trend KPSS rejected a trend-stationary series: %v vs %v", trd.Statistic, trd.Crit5)
+	}
+	// Critical values ordered.
+	if !(trd.Crit10 < trd.Crit5 && trd.Crit5 < trd.Crit1) {
+		t.Fatal("critical value ordering wrong")
+	}
+}
+
+func TestKPSSShortSeries(t *testing.T) {
+	if _, err := KPSS([]float64{1, 2, 3}, RegConstant, -1); err != ErrShortSeries {
+		t.Fatal("short series should error")
+	}
+}
+
+func TestDecomposeRecoversWeekday(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	n := 366
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		date := start.AddDate(0, 0, i)
+		v := 100.0
+		if date.Weekday() == time.Sunday {
+			v = 80
+		}
+		vals[i] = v + 0.5*rng.Normal()
+	}
+	s := &DailySeries{Start: start, Values: vals}
+	dec, err := Decompose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Sunday seasonal component must be clearly negative.
+	var sundaySeasonal float64
+	for i := 0; i < n; i++ {
+		if s.Date(i).Weekday() == time.Sunday {
+			sundaySeasonal = dec.Seasonal[i]
+			break
+		}
+	}
+	if sundaySeasonal > -10 {
+		t.Fatalf("sunday seasonal = %v, want ≈ -17", sundaySeasonal)
+	}
+	if dec.SeasonalStrength < 0.9 {
+		t.Fatalf("seasonal strength = %v, want near 1", dec.SeasonalStrength)
+	}
+	// Components reassemble the series.
+	for i := 0; i < n; i++ {
+		sum := dec.Trend[i] + dec.Seasonal[i] + dec.Remainder[i]
+		if math.Abs(sum-vals[i]) > 1e-9 {
+			t.Fatalf("decomposition does not reassemble at %d", i)
+		}
+	}
+}
+
+func TestDecomposeNoSeasonality(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.Normal()
+	}
+	dec, err := Decompose(&DailySeries{Start: start, Values: vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SeasonalStrength > 0.4 {
+		t.Fatalf("white noise seasonal strength = %v, want small", dec.SeasonalStrength)
+	}
+}
+
+func TestDecomposeShort(t *testing.T) {
+	s := &DailySeries{Values: make([]float64, 10)}
+	if _, err := Decompose(s); err != ErrShortSeries {
+		t.Fatal("short series should error")
+	}
+}

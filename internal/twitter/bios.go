@@ -1,0 +1,196 @@
+package twitter
+
+import (
+	"strings"
+
+	"elites/internal/mathx"
+)
+
+// Bio synthesis. Templates are weighted so that the corpus-level n-gram
+// tables reproduce the paper's Tables I and II: "Official Twitter" dominates
+// the bigrams, "Official Twitter Account" the trigrams, with the journalism
+// / sport / music / brand phrase families in the observed relative order.
+// The {slot} markers are filled from the slot lists below.
+
+type bioTemplate struct {
+	weight float64
+	text   string
+}
+
+var bioSlots = map[string][]string{
+	"outlet": {
+		"New York Times", "Wall Street Journal", "BBC News", "The Guardian",
+		"Washington Post", "Sky Sports", "Reuters", "Associated Press",
+	},
+	"city": {
+		"London", "New York", "Los Angeles", "Chicago", "Manchester",
+		"Sydney", "Toronto", "Dublin",
+	},
+	"team": {
+		"United", "City FC", "the Tigers", "the Hawks", "Rovers",
+		"the Saints", "Athletic", "the Bears",
+	},
+	"brandline": {
+		"deals and support", "news and offers", "products and stories",
+		"updates and releases",
+	},
+	"hobby": {
+		"Coffee lover", "Dog person", "Runner", "Foodie", "Traveller",
+		"Bookworm",
+	},
+}
+
+var bioTemplates = map[Category][]bioTemplate{
+	CatJournalist: {
+		{3, "Award winning journalist. Anchor reporter at {outlet}. Opinions own."},
+		{2.5, "Journalist covering politics for {outlet}. Breaking news and latest news. Opinions own."},
+		{1.5, "Managing editor at {outlet}. Formerly {city}. Opinions own."},
+		{1.5, "Editor in chief of {outlet}."},
+		{1.5, "Anchor reporter. {outlet} alum. Latest news from {city}."},
+		{1, "Award winning journalist and best selling author."},
+		{1, "Correspondent for {outlet}. Husband. Father."},
+	},
+	CatAthlete: {
+		{2.5, "Professional rugby player for {team}."},
+		{2.3, "Professional baseball player. {city} born and raised."},
+		{1.2, "Olympic gold medalist. Proud of my team."},
+		{2, "Professional footballer. Official Twitter account."},
+		{1.5, "Athlete. Husband. Father. Blessed."},
+	},
+	CatMusician: {
+		{1.6, "Singer songwriter. New album out now."},
+		{1.4, "Singer songwriter. Booking: contact management."},
+		{1.0, "Singer songwriter from {city}. Tour dates online."},
+		{1.3, "Producer and DJ. Official Twitter account. New album out everywhere."},
+		{1.0, "Rapper and singer songwriter. {city}."},
+	},
+	CatActor: {
+		{2, "Actor. Producer. {city}."},
+		{1.5, "Emmy award winning actor. Official Twitter account."},
+		{1.5, "Actor and director. Husband. Father."},
+		{1, "Emmy award winning producer. Represented by {outlet}."},
+	},
+	CatBrand: {
+		{3.5, "Official Twitter account of {city} {brandline}. For customer service follow us and DM."},
+		{2.5, "Official Twitter of the {team} store. Support Monday to Friday 9am-5pm."},
+		{2, "Official account for {brandline}. Follow us for more."},
+		{1.5, "Official Twitter page. International {brandline}. Booking available online."},
+		{1.5, "Co founder and CEO. Tech. Startups. {city}."},
+	},
+	CatMediaOutlet: {
+		{3, "Official Twitter account of {outlet}. Breaking news, sport and weather."},
+		{2, "Official Twitter page of {outlet} {city}. Latest news all day."},
+		{1.5, "The official account. Breaking news from {city} and beyond. Follow us."},
+		{1, "News, sport and entertainment from {outlet}. Official Twitter."},
+	},
+	CatGovernment: {
+		{2.5, "Official Twitter account of {city} Police. Report crime here. Do not report emergencies on Twitter."},
+		{1.5, "Official Twitter page of the {city} city council. Support Monday to Friday."},
+		{1, "Report crime here. For emergencies call 911. Not monitored 24/7."},
+	},
+	CatWeather: {
+		{2.5, "Weather alerts EN for {city} and region. Official Twitter account."},
+		{1.5, "Weather alerts EN. Forecasts, warnings and updates. Follow us."},
+		{1.0, "Weather alerts EN service. Severe weather warnings for {city}."},
+	},
+	CatWriter: {
+		{2.5, "Best selling author of novels. Represented by {outlet}."},
+		{2, "Award winning writer. Best selling author. {city}."},
+		{1.5, "Author. Columnist at {outlet}. Opinions own."},
+	},
+	CatPolitician: {
+		{2.5, "Official Twitter account. Member of Parliament for {city}. Husband. Father."},
+		{2, "Senator for {city}. Official account. Views my own."},
+		{1.5, "Mayor of {city}. Working for you. Official Twitter page."},
+	},
+	CatInfluencer: {
+		{2.5, "Husband. Father. {hobby}. Instagram and Snapchat: same handle."},
+		{2, "{hobby}. Gay. He/him. Instagram below. Follow us on YouTube."},
+		{2, "Digital creator. Instagram, Facebook and Snapchat. Business: DM."},
+		{1.5, "Co host of the morning show. {hobby}. Opinions own."},
+		{1.5, "Mom. Wife. {hobby}. Facebook and Instagram: same name."},
+	},
+}
+
+// bioSampler is a prebuilt alias sampler per category over its templates.
+type bioSampler struct {
+	samplers [numCategories]*mathx.WeightedSampler
+}
+
+func newBioSampler() *bioSampler {
+	bs := &bioSampler{}
+	for cat := Category(0); cat < numCategories; cat++ {
+		ts := bioTemplates[cat]
+		w := make([]float64, len(ts))
+		for i, t := range ts {
+			w[i] = t.weight
+		}
+		bs.samplers[cat] = mathx.NewWeightedSampler(w)
+	}
+	return bs
+}
+
+// generate renders one bio for the category.
+func (bs *bioSampler) generate(cat Category, rng *mathx.RNG) string {
+	ts := bioTemplates[cat]
+	t := ts[bs.samplers[cat].Sample(rng)]
+	return fillSlots(t.text, rng)
+}
+
+func fillSlots(s string, rng *mathx.RNG) string {
+	for {
+		i := strings.IndexByte(s, '{')
+		if i < 0 {
+			return s
+		}
+		j := strings.IndexByte(s[i:], '}')
+		if j < 0 {
+			return s
+		}
+		key := s[i+1 : i+j]
+		vals := bioSlots[key]
+		var repl string
+		if len(vals) > 0 {
+			repl = vals[rng.Intn(len(vals))]
+		}
+		s = s[:i] + repl + s[i+j+1:]
+	}
+}
+
+// sampleCategory draws an archetype from the global mix.
+func sampleCategory(rng *mathx.RNG, cs *mathx.WeightedSampler) Category {
+	return Category(cs.Sample(rng))
+}
+
+// screenName builds a deterministic handle for a node.
+func screenName(cat Category, node int, rng *mathx.RNG) string {
+	prefixes := map[Category][]string{
+		CatJournalist:  {"Reports", "News", "Writes", "Desk"},
+		CatAthlete:     {"Plays", "Sport", "Pro", "Team"},
+		CatMusician:    {"Music", "Sings", "Beats", "Sound"},
+		CatActor:       {"OnScreen", "Films", "Stage", "Acts"},
+		CatBrand:       {"Shop", "Official", "HQ", "Store"},
+		CatMediaOutlet: {"Daily", "Times", "Tribune", "Herald"},
+		CatGovernment:  {"City", "Gov", "Police", "Council"},
+		CatWeather:     {"Wx", "Storm", "Forecast", "Climate"},
+		CatWriter:      {"Writes", "Books", "Author", "Pages"},
+		CatPolitician:  {"Rep", "Senator", "MP", "Mayor"},
+		CatInfluencer:  {"Real", "Its", "The", "Just"},
+	}
+	p := prefixes[cat]
+	return p[rng.Intn(len(p))] + "User" + itoa(node%screenNameDigits) + itoa(node/screenNameDigits)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,81 @@
+package twitter
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCrawlSurvivesTransientFailures(t *testing.T) {
+	p := smallPlatform(t, 900)
+	truth := DatasetFromPlatform(p)
+
+	api := NewAPI(p)
+	api.FailureRate = 0.15 // 15% of calls return 503
+	ds, err := Crawl(api)
+	if err != nil {
+		t.Fatalf("crawl did not survive failure injection: %v", err)
+	}
+	if api.Failures == 0 {
+		t.Fatal("failure injection inactive — test proves nothing")
+	}
+	// The recovered dataset must equal the ground truth exactly.
+	if ds.Graph.NumNodes() != truth.Graph.NumNodes() ||
+		ds.Graph.NumEdges() != truth.Graph.NumEdges() {
+		t.Fatalf("crawl under failures diverged: %d/%d vs %d/%d nodes/edges",
+			ds.Graph.NumNodes(), ds.Graph.NumEdges(),
+			truth.Graph.NumNodes(), truth.Graph.NumEdges())
+	}
+}
+
+func TestAPIInjectsFailuresDeterministically(t *testing.T) {
+	p := smallPlatform(t, 300)
+	a1 := NewAPI(p)
+	a1.FailureRate = 0.5
+	a2 := NewAPI(p)
+	a2.FailureRate = 0.5
+	for i := 0; i < 40; i++ {
+		_, _, err1 := a1.FriendIDs(a1.VerifiedBotID(), 0)
+		_, _, err2 := a2.FriendIDs(a2.VerifiedBotID(), 0)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatal("failure injection not deterministic")
+		}
+	}
+	if a1.Failures == 0 {
+		t.Fatal("no failures at 50% rate over 40 calls")
+	}
+}
+
+func TestRetryGivesUpOnPersistentFailure(t *testing.T) {
+	p := smallPlatform(t, 300)
+	api := NewAPI(p)
+	api.FailureRate = 1.0 // every call fails
+	_, _, err := retryFriendIDs(api, api.VerifiedBotID(), 0)
+	if !errors.Is(err, ErrServiceUnavailable) {
+		t.Fatalf("want ErrServiceUnavailable after retries, got %v", err)
+	}
+	// Retries consumed: initial + crawlMaxRetries attempts.
+	if api.Failures != crawlMaxRetries+1 {
+		t.Fatalf("attempts = %d, want %d", api.Failures, crawlMaxRetries+1)
+	}
+}
+
+func TestRetryDoesNotMaskHardErrors(t *testing.T) {
+	p := smallPlatform(t, 300)
+	api := NewAPI(p)
+	if _, _, err := retryFriendIDs(api, 424242, 0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("hard error should pass through, got %v", err)
+	}
+}
+
+func TestFailuresConsumeRateBudget(t *testing.T) {
+	p := smallPlatform(t, 300)
+	api := NewAPI(p)
+	api.FailureRate = 1.0
+	start := api.Clock().Now()
+	for i := 0; i < 16; i++ {
+		api.FriendIDs(api.VerifiedBotID(), 0) //nolint:errcheck // failures expected
+	}
+	if api.Clock().Now().Sub(start) < windowLength {
+		t.Fatal("failed calls must still consume the rate window")
+	}
+}
