@@ -13,6 +13,7 @@ package elites
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -401,6 +402,52 @@ func BenchmarkFullCharacterization(b *testing.B) {
 		if _, err := core.NewCharacterizer(opts).Run(ds, activity); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFullCharacterizationParallel contrasts the stage-graph scheduler
+// across parallelism levels on the same workload: p=1 runs one stage at a
+// time (stage-internal sharding still uses all cores), p=max bounds wall
+// clock by the critical path. Reports are bit-identical at every level
+// (per-stage derived RNG streams), so this measures pure scheduling gain.
+func BenchmarkFullCharacterizationParallel(b *testing.B) {
+	_, ds, activity, _ := fixtures(b)
+	levels := []struct {
+		label string
+		par   int
+	}{{"p=1", 1}, {"p=2", 2}, {fmt.Sprintf("p=max%d", runtime.GOMAXPROCS(0)), 0}}
+	for _, lv := range levels {
+		b.Run(lv.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{
+					BootstrapReps: 25, EigenK: 100, BetweennessSources: 128,
+					DistanceSources: 150, Seed: 23, Parallelism: lv.par,
+				}
+				if _, err := core.NewCharacterizer(opts).Run(ds, activity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineStages times every analysis stage in isolation through
+// Options.Stages (each subset pulls in its transitive dependencies, so
+// "summary" includes "components").
+func BenchmarkPipelineStages(b *testing.B) {
+	_, ds, activity, _ := fixtures(b)
+	for _, stage := range core.StageNames() {
+		b.Run(stage, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{
+					BootstrapReps: 25, EigenK: 100, BetweennessSources: 128,
+					DistanceSources: 150, Seed: 23, Stages: []string{stage},
+				}
+				if _, err := core.NewCharacterizer(opts).Run(ds, activity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

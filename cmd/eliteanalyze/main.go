@@ -6,18 +6,28 @@
 // Figure 5 centrality correlations with GAM splines, and the §V activity
 // analysis with the Figure 6 calendar heatmap.
 //
+// The analyses execute as a concurrent stage graph; -parallel bounds the
+// stage pool (single stages may still shard internally across cores),
+// -stages runs a named subset (plus dependencies), and -timings appends a
+// per-stage wall-clock table after the report. Reports are bit-identical at
+// any -parallel value for a given seed.
+//
 // Usage:
 //
 //	eliteanalyze -data ./dataset          # analyze a saved dataset
 //	eliteanalyze -n 10000 -seed 42       # generate in memory and analyze
 //	eliteanalyze -n 10000 -fast          # skip the slow analyses
+//	eliteanalyze -parallel 1 -timings    # one stage at a time, with clocks
+//	eliteanalyze -stages summary,degree  # just those stages (and deps)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"elites"
 	"elites/internal/plot"
@@ -26,20 +36,23 @@ import (
 
 func main() {
 	var (
-		data   = flag.String("data", "", "dataset directory (from elitegen/elitecrawl)")
-		n      = flag.Int("n", 10000, "users to generate when -data is not given")
-		seed   = flag.Uint64("seed", 42, "seed for in-memory generation")
-		fast   = flag.Bool("fast", false, "skip eigenvalues, betweenness and bootstraps")
-		figdir = flag.String("figdir", "", "directory to write the paper's figures as SVG")
+		data     = flag.String("data", "", "dataset directory (from elitegen/elitecrawl)")
+		n        = flag.Int("n", 10000, "users to generate when -data is not given")
+		seed     = flag.Uint64("seed", 42, "seed for in-memory generation")
+		fast     = flag.Bool("fast", false, "skip eigenvalues, betweenness and bootstraps")
+		figdir   = flag.String("figdir", "", "directory to write the paper's figures as SVG")
+		parallel = flag.Int("parallel", 0, "max concurrent analysis stages (0 = all cores, 1 = one stage at a time)")
+		stagesF  = flag.String("stages", "", "comma-separated stage subset, e.g. summary,degree (available: "+strings.Join(elites.StageNames(), ",")+")")
+		timings  = flag.Bool("timings", false, "print a per-stage wall-clock table after the report")
 	)
 	flag.Parse()
-	if err := run(*data, *n, *seed, *fast, *figdir); err != nil {
+	if err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings); err != nil {
 		fmt.Fprintln(os.Stderr, "eliteanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data string, n int, seed uint64, fast bool, figdir string) error {
+func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool) error {
 	var (
 		ds       *elites.Dataset
 		activity *elites.DailySeries
@@ -60,18 +73,28 @@ func run(data string, n int, seed uint64, fast bool, figdir string) error {
 		ds = elites.DatasetFromPlatform(p)
 		activity = p.ActivitySeries(p.EnglishNodes())
 	}
-	opts := elites.Options{Seed: seed}
+	opts := elites.Options{Seed: seed, Parallelism: parallel, Timings: timings}
 	if fast {
 		opts.SkipEigen = true
 		opts.SkipBetweenness = true
 		opts.SkipBootstrap = true
 		opts.DistanceSources = 100
 	}
+	if stagesF != "" {
+		for _, s := range strings.Split(stagesF, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				opts.Stages = append(opts.Stages, s)
+			}
+		}
+	}
 	rep, err := elites.NewCharacterizer(opts).Run(ds, activity)
 	if err != nil {
 		return err
 	}
 	rep.Render(os.Stdout)
+	if timings {
+		renderTimings(os.Stdout, rep.Timings)
+	}
 	if figdir != "" {
 		if err := writeFigures(figdir, ds, rep, activity); err != nil {
 			return err
@@ -79,6 +102,23 @@ func run(data string, n int, seed uint64, fast bool, figdir string) error {
 		fmt.Printf("\nfigures written to %s\n", figdir)
 	}
 	return nil
+}
+
+// renderTimings prints the per-stage wall-clock table. Stages are listed in
+// execution-graph order; the total is the sum of stage clocks (wall clock of
+// the whole run is lower whenever stages overlapped).
+func renderTimings(w io.Writer, timings []elites.StageTiming) {
+	if len(timings) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nPipeline stage timings\n======================\n")
+	var total float64
+	for _, tm := range timings {
+		ms := float64(tm.Duration.Microseconds()) / 1000
+		fmt.Fprintf(w, "%-14s %12.3fms\n", tm.Name, ms)
+		total += ms
+	}
+	fmt.Fprintf(w, "%-14s %12.3fms\n", "total (cpu)", total)
 }
 
 // writeFigures renders every paper figure as an SVG file.

@@ -14,8 +14,10 @@
 //     Lanczos eigenvalues, Clauset–Shalizi–Newman power-law inference with
 //     Vuong tests, bio n-gram tables, P-spline GAM correlations, and the
 //     §V time-series suite (Ljung–Box, Box–Pierce, ADF, PELT);
-//   - a Characterizer that runs everything and renders each of the paper's
-//     tables and figures.
+//   - a Characterizer that runs everything as a concurrent analysis stage
+//     graph — independent stages execute in parallel on a bounded pool, with
+//     per-stage RNG streams keeping reports bit-identical at any parallelism
+//     — and renders each of the paper's tables and figures.
 //
 // # Quick start
 //
@@ -185,14 +187,23 @@ type (
 	// Report bundles every analysis output and renders the paper's
 	// tables and figures.
 	Report = core.Report
+	// StageTiming is one pipeline stage's measured wall clock
+	// (collected when Options.Timings is set).
+	StageTiming = core.StageTiming
 	// Fingerprint is the structural signature of a network.
 	Fingerprint = core.Fingerprint
 )
 
 // Pipeline entry points.
 var (
-	// NewCharacterizer builds the pipeline.
+	// NewCharacterizer builds the pipeline. Stages with no dependency
+	// between them run concurrently (Options.Parallelism bounds the pool;
+	// Options.Stages selects a subset) and reports are bit-identical at
+	// any parallelism thanks to per-stage derived RNG streams.
 	NewCharacterizer = core.NewCharacterizer
+	// StageNames lists the pipeline's stage vocabulary in canonical order,
+	// for Options.Stages selections.
+	StageNames = core.StageNames
 	// ComputeFingerprint measures a graph's structural signature.
 	ComputeFingerprint = core.ComputeFingerprint
 	// PaperVerifiedFingerprint is the paper's measured signature.

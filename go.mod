@@ -1,0 +1,3 @@
+module elites
+
+go 1.24

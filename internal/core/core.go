@@ -11,12 +11,15 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"elites/internal/centrality"
 	"elites/internal/graph"
 	"elites/internal/mathx"
+	"elites/internal/pipeline"
 	"elites/internal/powerlaw"
 	"elites/internal/spectral"
 	"elites/internal/stats"
@@ -55,6 +58,56 @@ type Options struct {
 	// SkipCategories skips the per-archetype table and the §IV-C
 	// mutual-core validation.
 	SkipCategories bool
+	// Parallelism bounds how many analysis stages run concurrently
+	// (0 = GOMAXPROCS, 1 = one stage at a time). Individual stages may
+	// still shard their own hot loops across cores. Reports are
+	// bit-identical across parallelism levels: every stochastic stage
+	// draws from its own RNG stream derived from Seed, never from a
+	// shared sequence.
+	Parallelism int
+	// Stages restricts the run to the named stages plus their transitive
+	// dependencies (nil = all). See StageNames for the vocabulary; names
+	// skipped by other options or missing data are ignored, unknown names
+	// are an error.
+	Stages []string
+	// Timings records per-stage wall clock into Report.Timings. Timings
+	// are not rendered, so timed reports stay byte-comparable.
+	Timings bool
+}
+
+// Pipeline stage names, in canonical (paper) order.
+const (
+	StageComponents  = "components"
+	StageSummary     = "summary"
+	StageBasic       = "basic"
+	StageDegree      = "degree"
+	StageEigen       = "eigen"
+	StageReciprocity = "reciprocity"
+	StageDistances   = "distances"
+	StageBios        = "bios"
+	StageHistograms  = "histograms"
+	StageCentrality  = "centrality"
+	StageCategories  = "categories"
+	StageMutualCore  = "mutualcore"
+	StageActivity    = "activity"
+)
+
+// StageNames returns every pipeline stage name in canonical order. Which
+// stages actually run depends on the dataset (bios, histograms, centrality
+// and categories need profiles; activity needs a series) and the Skip*
+// options.
+func StageNames() []string {
+	return []string{
+		StageComponents, StageSummary, StageBasic, StageDegree, StageEigen,
+		StageReciprocity, StageDistances, StageBios, StageHistograms,
+		StageCentrality, StageCategories, StageMutualCore, StageActivity,
+	}
+}
+
+// StageTiming is one executed pipeline stage's measured wall clock.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +216,9 @@ type Report struct {
 	Categories *CategoryAnalysis
 	// MutualCore validates the §IV-C core-reciprocity conjecture.
 	MutualCore *MutualCoreAnalysis
+	// Timings holds per-stage wall clocks when Options.Timings is set.
+	// Render ignores it, keeping rendered reports comparable across runs.
+	Timings []StageTiming
 }
 
 // Characterizer runs the pipeline.
@@ -175,50 +231,155 @@ func NewCharacterizer(opts Options) *Characterizer {
 	return &Characterizer{opts: opts.withDefaults()}
 }
 
-// Run characterizes a dataset. activity may be nil (skips §V).
+// Run characterizes a dataset by executing the analysis stage graph —
+// activity may be nil (skips §V). Stages with no dependency between them run
+// concurrently, bounded by Options.Parallelism; each stochastic stage draws
+// from an RNG stream derived from Options.Seed and the stage name, so the
+// report is bit-identical whatever the parallelism or schedule.
 func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySeries) (*Report, error) {
 	if ds == nil || ds.Graph == nil {
 		return nil, ErrNoData
 	}
 	g := ds.Graph
-	rng := mathx.NewRNG(c.opts.Seed)
+	// Derive (unlike Split) never advances base, so concurrent stages can
+	// key their streams off it without a lock.
+	base := mathx.NewRNG(c.opts.Seed)
 	rep := &Report{}
 
-	c.summarize(rep, ds)
-	c.basic(rep, g)
-	c.degreeAnalysis(rep, g, rng)
-	if !c.opts.SkipEigen {
-		c.eigenAnalysis(rep, g, rng)
+	// Shared intermediate: the component decompositions feed the summary.
+	var scc *graph.SCCResult
+	var wcc *graph.WCCResult
+
+	stages := []pipeline.Stage{
+		{Name: StageComponents, Run: func() error {
+			scc = graph.StronglyConnectedComponents(g)
+			wcc = graph.WeaklyConnectedComponents(g)
+			return nil
+		}},
+		{Name: StageSummary, Deps: []string{StageComponents}, Run: func() error {
+			c.summarize(rep, ds, scc, wcc)
+			return nil
+		}},
+		{Name: StageBasic, Deps: []string{StageComponents}, Run: func() error {
+			c.basic(rep, g, scc)
+			return nil
+		}},
+		{Name: StageDegree, Run: func() error {
+			c.degreeAnalysis(rep, g, base.Derive(StageDegree))
+			return nil
+		}},
 	}
-	rep.Reciprocity = graph.Reciprocity(g)
-	rep.Distances = graph.SampledDistances(g, c.opts.DistanceSources, rng)
+	if !c.opts.SkipEigen {
+		stages = append(stages, pipeline.Stage{Name: StageEigen, Run: func() error {
+			c.eigenAnalysis(rep, g, base.Derive(StageEigen))
+			return nil
+		}})
+	}
+	stages = append(stages,
+		pipeline.Stage{Name: StageReciprocity, Run: func() error {
+			rep.Reciprocity = graph.Reciprocity(g)
+			return nil
+		}},
+		pipeline.Stage{Name: StageDistances, Run: func() error {
+			rep.Distances = graph.SampledDistances(g, c.opts.DistanceSources, base.Derive(StageDistances))
+			return nil
+		}},
+	)
 	if len(ds.Profiles) > 0 {
-		c.bioAnalysis(rep, ds)
-		c.metricHistograms(rep, ds)
-		c.centralityAnalysis(rep, ds, rng)
+		stages = append(stages,
+			pipeline.Stage{Name: StageBios, Run: func() error {
+				c.bioAnalysis(rep, ds)
+				return nil
+			}},
+			pipeline.Stage{Name: StageHistograms, Run: func() error {
+				c.metricHistograms(rep, ds)
+				return nil
+			}},
+			pipeline.Stage{Name: StageCentrality, Run: func() error {
+				c.centralityAnalysis(rep, ds, base.Derive(StageCentrality))
+				return nil
+			}},
+		)
 		if !c.opts.SkipCategories {
-			if ca, err := AnalyzeCategories(ds); err == nil {
-				rep.Categories = ca
-			}
+			stages = append(stages, pipeline.Stage{Name: StageCategories, Run: func() error {
+				if ca, err := AnalyzeCategories(ds); err == nil {
+					rep.Categories = ca
+				}
+				return nil
+			}})
 		}
 	}
 	if !c.opts.SkipCategories {
-		rep.MutualCore = AnalyzeMutualCore(g)
+		stages = append(stages, pipeline.Stage{Name: StageMutualCore, Run: func() error {
+			rep.MutualCore = AnalyzeMutualCore(g)
+			return nil
+		}})
 	}
 	if activity != nil {
-		c.activityAnalysis(rep, activity)
+		stages = append(stages, pipeline.Stage{Name: StageActivity, Run: func() error {
+			c.activityAnalysis(rep, activity)
+			return nil
+		}})
+	}
+
+	only, err := filterStageSelection(c.opts.Stages, stages)
+	if err != nil {
+		return nil, err
+	}
+	timings, err := pipeline.Run(stages, pipeline.Options{
+		Parallelism: c.opts.Parallelism,
+		Only:        only,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Timings {
+		for _, tm := range timings {
+			if !tm.Skipped {
+				rep.Timings = append(rep.Timings, StageTiming{Name: tm.Name, Duration: tm.Duration})
+			}
+		}
 	}
 	return rep, nil
 }
 
-func (c *Characterizer) summarize(rep *Report, ds *twitter.Dataset) {
+// filterStageSelection validates a user stage selection against the full
+// vocabulary and drops names that are valid but not registered for this run
+// (skipped by options or missing data). Requesting only unavailable stages
+// is an error rather than a silently empty report.
+func filterStageSelection(requested []string, stages []pipeline.Stage) ([]string, error) {
+	if len(requested) == 0 {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(StageNames()))
+	for _, name := range StageNames() {
+		known[name] = true
+	}
+	registered := make(map[string]bool, len(stages))
+	for _, s := range stages {
+		registered[s.Name] = true
+	}
+	var only []string
+	for _, name := range requested {
+		if !known[name] {
+			return nil, fmt.Errorf("core: unknown stage %q (known: %v)", name, StageNames())
+		}
+		if registered[name] {
+			only = append(only, name)
+		}
+	}
+	if len(only) == 0 {
+		return nil, fmt.Errorf("core: none of the requested stages %v apply to this run", requested)
+	}
+	return only, nil
+}
+
+func (c *Characterizer) summarize(rep *Report, ds *twitter.Dataset, scc *graph.SCCResult, wcc *graph.WCCResult) {
 	g := ds.Graph
 	outDeg := g.OutDegrees()
 	ds1 := graph.SummarizeDegrees(outDeg)
 	maxNode := graph.ArgMax(outDeg)
-	scc := graph.StronglyConnectedComponents(g)
 	_, giant := scc.Largest()
-	wcc := graph.WeaklyConnectedComponents(g)
 	rep.Summary = DatasetSummary{
 		Nodes:         g.NumNodes(),
 		Edges:         g.NumEdges(),
@@ -233,10 +394,19 @@ func (c *Characterizer) summarize(rep *Report, ds *twitter.Dataset) {
 		NumWCCs:       wcc.NumComponents(),
 		TotalVerified: ds.TotalVerified,
 	}
-	rep.Basic.AttractingComponents = len(graph.AttractingComponents(g, scc))
-	// Representative attracting cores: highest in-degree members.
+}
+
+// basic fills the §IV-A analysis. It is the only stage that writes
+// rep.Basic, so no other stage can clobber it however the graph schedules.
+func (c *Characterizer) basic(rep *Report, g *graph.Digraph, scc *graph.SCCResult) {
 	ac := graph.AttractingComponents(g, scc)
 	in := g.InDegrees()
+	basic := BasicAnalysis{
+		Clustering:           graph.AverageLocalClustering(g),
+		Assortativity:        graph.DegreeAssortativityWithIn(g, in),
+		AttractingComponents: len(ac),
+	}
+	// Representative attracting cores: highest in-degree members.
 	type core struct{ node, indeg int }
 	var cores []core
 	for _, members := range ac {
@@ -250,13 +420,9 @@ func (c *Characterizer) summarize(rep *Report, ds *twitter.Dataset) {
 	}
 	sort.Slice(cores, func(i, j int) bool { return cores[i].indeg > cores[j].indeg })
 	for i := 0; i < len(cores) && i < 10; i++ {
-		rep.Basic.AttractingCores = append(rep.Basic.AttractingCores, cores[i].node)
+		basic.AttractingCores = append(basic.AttractingCores, cores[i].node)
 	}
-}
-
-func (c *Characterizer) basic(rep *Report, g *graph.Digraph) {
-	rep.Basic.Clustering = graph.AverageLocalClustering(g)
-	rep.Basic.Assortativity = graph.DegreeAssortativity(g)
+	rep.Basic = basic
 }
 
 func (c *Characterizer) degreeAnalysis(rep *Report, g *graph.Digraph, rng *mathx.RNG) {

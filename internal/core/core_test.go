@@ -229,3 +229,108 @@ func TestFingerprintEmptyGraph(t *testing.T) {
 		t.Fatalf("empty graph scores %v", fp.VerifiedLikeness())
 	}
 }
+
+// TestParallelDeterminism is the acceptance check for the concurrent
+// pipeline: the rendered report must be byte-identical between a sequential
+// run and a maximally concurrent one, because every stochastic stage draws
+// from its own seed-derived RNG stream.
+func TestParallelDeterminism(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	render := func(parallelism int) string {
+		opts := fastOptions()
+		opts.Parallelism = parallelism
+		rep, err := NewCharacterizer(opts).Run(ds, activity)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		var sb strings.Builder
+		rep.Render(&sb)
+		return sb.String()
+	}
+	seq := render(1)
+	for _, par := range []int{2, 8} {
+		if got := render(par); got != seq {
+			t.Fatalf("report at parallelism %d differs from sequential run", par)
+		}
+	}
+}
+
+func TestStageSubsetOption(t *testing.T) {
+	_, ds := testPlatform(t)
+	opts := fastOptions()
+	opts.SkipBootstrap = true
+	opts.Stages = []string{StageSummary, StageReciprocity}
+	rep, err := NewCharacterizer(opts).Run(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requested stages (and the summary's components dependency) ran...
+	if rep.Summary.Nodes != ds.Graph.NumNodes() {
+		t.Fatal("summary stage did not run")
+	}
+	if rep.Reciprocity <= 0 {
+		t.Fatal("reciprocity stage did not run")
+	}
+	// ...and unrequested ones did not.
+	if rep.Degree != nil || rep.Distances != nil || rep.Bios != nil || rep.Centrality != nil {
+		t.Fatal("unrequested stages ran")
+	}
+	// Unknown names error.
+	opts.Stages = []string{"nonsense"}
+	if _, err := NewCharacterizer(opts).Run(ds, nil); err == nil {
+		t.Fatal("unknown stage name must error")
+	}
+	// Valid names that cannot apply to this run (no activity series) error
+	// rather than returning an empty report.
+	opts.Stages = []string{StageActivity}
+	if _, err := NewCharacterizer(opts).Run(ds, nil); err == nil {
+		t.Fatal("inapplicable-only stage selection must error")
+	}
+}
+
+func TestTimingsOption(t *testing.T) {
+	_, ds := testPlatform(t)
+	opts := fastOptions()
+	opts.SkipBootstrap = true
+	opts.SkipEigen = true
+	opts.Timings = true
+	rep, err := NewCharacterizer(opts).Run(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timings) == 0 {
+		t.Fatal("timings requested but empty")
+	}
+	seen := map[string]bool{}
+	for _, tm := range rep.Timings {
+		seen[tm.Name] = true
+		if tm.Duration < 0 {
+			t.Fatalf("negative duration for %s", tm.Name)
+		}
+	}
+	for _, want := range []string{StageComponents, StageSummary, StageDegree, StageReciprocity} {
+		if !seen[want] {
+			t.Errorf("missing timing for stage %q", want)
+		}
+	}
+	if seen[StageEigen] || seen[StageActivity] {
+		t.Error("skipped stages must not report timings")
+	}
+	// Without the option the field stays empty, and the rendered report is
+	// identical either way — timings never leak into the render.
+	opts.Timings = false
+	rep2, err := NewCharacterizer(opts).Run(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Timings != nil {
+		t.Fatal("timings recorded without the option")
+	}
+	var with, without strings.Builder
+	rep.Render(&with)
+	rep2.Render(&without)
+	if with.String() != without.String() {
+		t.Fatal("enabling timings changed the rendered report")
+	}
+}

@@ -14,14 +14,23 @@ func Reciprocity(g *Digraph) float64 {
 	if m == 0 {
 		return 0
 	}
-	var mutual int64
-	for u := 0; u < g.NumNodes(); u++ {
-		for _, v := range g.OutNeighbors(u) {
-			// Count each direction; a mutual pair contributes 2.
-			if g.HasEdge(int(v), u) {
-				mutual++
+	// Sharded over source-node ranges; each ordered edge is owned by
+	// exactly one chunk, so the partial counts sum exactly.
+	parts := chunkReduce(g.NumNodes(), func(lo, hi int) int64 {
+		var mutual int64
+		for u := lo; u < hi; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				// Count each direction; a mutual pair contributes 2.
+				if g.HasEdge(int(v), u) {
+					mutual++
+				}
 			}
 		}
+		return mutual
+	})
+	var mutual int64
+	for _, p := range parts {
+		mutual += p
 	}
 	return float64(mutual) / float64(m)
 }
@@ -37,9 +46,18 @@ func AverageLocalClustering(g *Digraph) float64 {
 	if n == 0 {
 		return 0
 	}
+	// Per-chunk partial sums are combined in chunk order, so the result is
+	// bit-stable regardless of worker count.
+	parts := chunkReduce(n, func(lo, hi int) float64 {
+		s := 0.0
+		for u := lo; u < hi; u++ {
+			s += localClustering(und, u)
+		}
+		return s
+	})
 	total := 0.0
-	for u := 0; u < n; u++ {
-		total += localClustering(und, u)
+	for _, p := range parts {
+		total += p
 	}
 	return total / float64(n)
 }
@@ -90,22 +108,42 @@ func localClustering(und *Digraph, u int) float64 {
 // dissortativity; the paper measures −0.04 for the verified network, in
 // contrast to the assortative full Twitter graph.
 func DegreeAssortativity(g *Digraph) float64 {
+	return DegreeAssortativityWithIn(g, g.InDegrees())
+}
+
+// DegreeAssortativityWithIn is DegreeAssortativity with a precomputed
+// in-degree vector, saving the O(m) scan when the caller already holds one.
+func DegreeAssortativityWithIn(g *Digraph, in []int) float64 {
 	m := g.NumEdges()
 	if m == 0 {
 		return 0
 	}
-	in := g.InDegrees()
-	var sx, sy, sxx, syy, sxy float64
-	for u := 0; u < g.NumNodes(); u++ {
-		du := float64(g.OutDegree(u))
-		for _, v := range g.OutNeighbors(u) {
-			dv := float64(in[v])
-			sx += du
-			sy += dv
-			sxx += du * du
-			syy += dv * dv
-			sxy += du * dv
+	// Each chunk accumulates the five edge moments over its source range;
+	// combining in chunk order keeps the correlation bit-stable under any
+	// worker count.
+	type moments struct{ sx, sy, sxx, syy, sxy float64 }
+	parts := chunkReduce(g.NumNodes(), func(lo, hi int) moments {
+		var p moments
+		for u := lo; u < hi; u++ {
+			du := float64(g.OutDegree(u))
+			for _, v := range g.OutNeighbors(u) {
+				dv := float64(in[v])
+				p.sx += du
+				p.sy += dv
+				p.sxx += du * du
+				p.syy += dv * dv
+				p.sxy += du * dv
+			}
 		}
+		return p
+	})
+	var sx, sy, sxx, syy, sxy float64
+	for _, p := range parts {
+		sx += p.sx
+		sy += p.sy
+		sxx += p.sxx
+		syy += p.syy
+		sxy += p.sxy
 	}
 	fm := float64(m)
 	cov := sxy/fm - (sx/fm)*(sy/fm)

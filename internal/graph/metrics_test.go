@@ -160,3 +160,82 @@ func TestArgMax(t *testing.T) {
 		t.Fatal("ArgMax should return first maximum")
 	}
 }
+
+// TestShardedMetricsMatchSequential pins the sharded implementations to a
+// straightforward sequential reference on a graph big enough to span
+// several chunks (> metricChunk nodes), and checks run-to-run bit-stability.
+func TestShardedMetricsMatchSequential(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	n := 3 * metricChunk
+	b := NewBuilder(n)
+	for i := 0; i < 20*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		if rng.Bool(0.3) {
+			b.AddEdge(v, u)
+		}
+	}
+	g := b.Build()
+
+	// Sequential references.
+	var mutual int64
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if g.HasEdge(int(v), u) {
+				mutual++
+			}
+		}
+	}
+	wantRecip := float64(mutual) / float64(g.NumEdges())
+	und := g.Undirected()
+	clustSum := 0.0
+	for u := 0; u < n; u++ {
+		clustSum += localClustering(und, u)
+	}
+	wantClust := clustSum / float64(n)
+	in := g.InDegrees()
+	var sx, sy, sxx, syy, sxy float64
+	for u := 0; u < n; u++ {
+		du := float64(g.OutDegree(u))
+		for _, v := range g.OutNeighbors(u) {
+			dv := float64(in[v])
+			sx += du
+			sy += dv
+			sxx += du * du
+			syy += dv * dv
+			sxy += du * dv
+		}
+	}
+	fm := float64(g.NumEdges())
+	cov := sxy/fm - (sx/fm)*(sy/fm)
+	wantAssort := cov / math.Sqrt((sxx/fm-(sx/fm)*(sx/fm))*(syy/fm-(sy/fm)*(sy/fm)))
+
+	if got := Reciprocity(g); got != wantRecip {
+		t.Fatalf("sharded reciprocity %v != sequential %v", got, wantRecip)
+	}
+	if got := AverageLocalClustering(g); math.Abs(got-wantClust) > 1e-12 {
+		t.Fatalf("sharded clustering %v != sequential %v", got, wantClust)
+	}
+	r1 := DegreeAssortativity(g)
+	if math.Abs(r1-wantAssort) > 1e-12 {
+		t.Fatalf("sharded assortativity %v != sequential %v", r1, wantAssort)
+	}
+	if got := DegreeAssortativityWithIn(g, in); got != r1 {
+		t.Fatalf("precomputed-degrees variant %v != %v", got, r1)
+	}
+	// Bit-stability across repeated parallel runs.
+	for i := 0; i < 3; i++ {
+		if Reciprocity(g) != wantRecip {
+			t.Fatal("reciprocity not run-to-run stable")
+		}
+		if AverageLocalClustering(g) != AverageLocalClustering(g) {
+			t.Fatal("clustering not run-to-run stable")
+		}
+		if DegreeAssortativity(g) != r1 {
+			t.Fatal("assortativity not run-to-run stable")
+		}
+	}
+}

@@ -20,15 +20,9 @@ type RNG struct {
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 	for i := range r.s {
-		r.s[i] = next()
+		sm += 0x9e3779b97f4a7c15
+		r.s[i] = splitmix64(sm)
 	}
 	// A state of all zeros is invalid for xoshiro; SplitMix64 cannot
 	// produce four consecutive zeros, but guard anyway.
@@ -38,9 +32,39 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used for
+// seeding and stream derivation.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Split returns a new generator deterministically derived from this one.
-// It is used to give independent streams to concurrent workers.
+// It is used to give independent streams to concurrent workers. Unlike
+// Derive it consumes from this generator's stream, so the result depends on
+// how many draws preceded it.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Derive returns an independent generator keyed by label: a pure function of
+// this generator's current state and the label's bytes, mixed SplitMix64-style.
+// It does not advance this generator, so derivations commute — any set of
+// Derive calls yields the same streams regardless of order or interleaving
+// with each other. The concurrent analysis pipeline relies on this to hand
+// every stage its own reproducible randomness whatever the schedule.
+func (r *RNG) Derive(label string) *RNG {
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	seed := h
+	for _, s := range r.s {
+		seed = splitmix64(seed + 0x9e3779b97f4a7c15 + s)
+	}
+	return NewRNG(seed)
+}
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 

@@ -1,0 +1,272 @@
+// Package pipeline executes a declarative stage graph on a bounded worker
+// pool. A Stage is a named unit of work with explicit dependencies; Run
+// schedules every stage whose dependencies have completed, so independent
+// analyses proceed concurrently while ordered ones wait. The scheduler
+// records per-stage wall clock, propagates failures to dependents (they are
+// skipped, not run against missing inputs), and supports running a subset of
+// the graph: requested stages are closed over their transitive dependencies.
+//
+// The package is deliberately value-free: stages communicate through
+// whatever state their closures capture. Callers that need deterministic
+// output under concurrency must make each stage's work independent of
+// scheduling order — the core characterizer does this by deriving an
+// independent RNG stream per stage (mathx.RNG.Derive).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Stage is one named node of the graph. Run is invoked at most once, after
+// every stage named in Deps has finished successfully.
+type Stage struct {
+	Name string
+	Deps []string
+	Run  func() error
+}
+
+// Timing reports how one stage fared: wall-clock duration for executed
+// stages, Skipped for stages that never ran (deselected, or a dependency
+// failed), and Err for failures (including dependency-failure skips).
+type Timing struct {
+	Name     string
+	Duration time.Duration
+	Err      error
+	Skipped  bool
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Parallelism bounds concurrently executing stages
+	// (<= 0 means GOMAXPROCS).
+	Parallelism int
+	// Only, when non-empty, restricts execution to the named stages plus
+	// their transitive dependencies. Unknown names are an error.
+	Only []string
+}
+
+// ErrDependencySkipped wraps the error recorded for a stage that was skipped
+// because one of its (possibly transitive) dependencies failed.
+var ErrDependencySkipped = errors.New("pipeline: dependency failed")
+
+// Validate checks the graph for duplicate names, unknown dependencies and
+// cycles without running anything.
+func Validate(stages []Stage) error {
+	_, err := indexStages(stages)
+	if err != nil {
+		return err
+	}
+	return checkAcyclic(stages)
+}
+
+func indexStages(stages []Stage) (map[string]int, error) {
+	idx := make(map[string]int, len(stages))
+	for i, s := range stages {
+		if s.Name == "" {
+			return nil, fmt.Errorf("pipeline: stage %d has no name", i)
+		}
+		if _, dup := idx[s.Name]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate stage %q", s.Name)
+		}
+		idx[s.Name] = i
+	}
+	for _, s := range stages {
+		for _, d := range s.Deps {
+			if _, ok := idx[d]; !ok {
+				return nil, fmt.Errorf("pipeline: stage %q depends on unknown stage %q", s.Name, d)
+			}
+		}
+	}
+	return idx, nil
+}
+
+func checkAcyclic(stages []Stage) error {
+	idx, err := indexStages(stages)
+	if err != nil {
+		return err
+	}
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make([]int, len(stages))
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case onStack:
+			return fmt.Errorf("pipeline: cycle through stage %q", stages[i].Name)
+		case done:
+			return nil
+		}
+		state[i] = onStack
+		for _, d := range stages[i].Deps {
+			if err := visit(idx[d]); err != nil {
+				return err
+			}
+		}
+		state[i] = done
+		return nil
+	}
+	for i := range stages {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectStages returns the boolean inclusion mask for opts.Only closed over
+// transitive dependencies (all stages when Only is empty).
+func selectStages(stages []Stage, idx map[string]int, only []string) ([]bool, error) {
+	include := make([]bool, len(stages))
+	if len(only) == 0 {
+		for i := range include {
+			include[i] = true
+		}
+		return include, nil
+	}
+	var mark func(i int)
+	mark = func(i int) {
+		if include[i] {
+			return
+		}
+		include[i] = true
+		for _, d := range stages[i].Deps {
+			mark(idx[d])
+		}
+	}
+	for _, name := range only {
+		i, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: unknown stage %q", name)
+		}
+		mark(i)
+	}
+	return include, nil
+}
+
+// Run executes the stage graph and returns one Timing per stage, in the
+// order the stages were declared. The returned error joins every stage
+// error (dependency skips are not doubled in). Run validates the graph
+// first, so a malformed graph fails before any stage executes.
+func Run(stages []Stage, opts Options) ([]Timing, error) {
+	idx, err := indexStages(stages)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAcyclic(stages); err != nil {
+		return nil, err
+	}
+	include, err := selectStages(stages, idx, opts.Only)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(stages) {
+		workers = len(stages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	timings := make([]Timing, len(stages))
+	for i, s := range stages {
+		timings[i] = Timing{Name: s.Name, Skipped: true}
+	}
+
+	// dependents[i] lists stages waiting on i; pending[i] counts unmet deps.
+	dependents := make([][]int, len(stages))
+	pending := make([]int, len(stages))
+	remaining := 0
+	for i, s := range stages {
+		if !include[i] {
+			continue
+		}
+		remaining++
+		pending[i] = len(s.Deps)
+		for _, d := range s.Deps {
+			dependents[idx[d]] = append(dependents[idx[d]], i)
+		}
+	}
+	if remaining == 0 {
+		return timings, nil
+	}
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		ready  = make(chan int, len(stages))
+		failed = make([]bool, len(stages))
+	)
+
+	// finish marks stage i complete (ok=false on failure), releasing or
+	// failing its dependents. Callers hold mu.
+	var finish func(i int, ok bool)
+	finish = func(i int, ok bool) {
+		remaining--
+		for _, d := range dependents[i] {
+			if !include[d] {
+				continue
+			}
+			if !ok && !failed[d] {
+				failed[d] = true
+				timings[d].Err = fmt.Errorf("%w: stage %q skipped because %q did not complete",
+					ErrDependencySkipped, stages[d].Name, stages[i].Name)
+			}
+			pending[d]--
+			if pending[d] == 0 {
+				if failed[d] {
+					finish(d, false) // cascade the skip
+				} else {
+					ready <- d
+				}
+			}
+		}
+		if remaining == 0 {
+			close(ready)
+		}
+	}
+
+	mu.Lock()
+	for i := range stages {
+		if include[i] && pending[i] == 0 {
+			ready <- i
+		}
+	}
+	mu.Unlock()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				start := time.Now()
+				err := stages[i].Run()
+				mu.Lock()
+				timings[i].Duration = time.Since(start)
+				timings[i].Skipped = false
+				timings[i].Err = err
+				finish(i, err == nil)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	for i := range timings {
+		if timings[i].Err != nil && !errors.Is(timings[i].Err, ErrDependencySkipped) {
+			errs = append(errs, fmt.Errorf("stage %q: %w", stages[i].Name, timings[i].Err))
+		}
+	}
+	return timings, errors.Join(errs...)
+}

@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// orderRecorder appends stage names under a lock so tests can assert
+// scheduling constraints.
+type orderRecorder struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (r *orderRecorder) stage(name string, deps ...string) Stage {
+	return Stage{Name: name, Deps: deps, Run: func() error {
+		r.mu.Lock()
+		r.order = append(r.order, name)
+		r.mu.Unlock()
+		return nil
+	}}
+}
+
+func (r *orderRecorder) index(name string) int {
+	for i, n := range r.order {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		rec := &orderRecorder{}
+		stages := []Stage{
+			rec.stage("fan1"),
+			rec.stage("root"),
+			rec.stage("mid", "root"),
+			rec.stage("leaf", "mid", "fan1"),
+			rec.stage("fan2", "root"),
+		}
+		if _, err := Run(stages, Options{Parallelism: par}); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(rec.order) != len(stages) {
+			t.Fatalf("par=%d: ran %d stages, want %d", par, len(rec.order), len(stages))
+		}
+		for _, pair := range [][2]string{{"root", "mid"}, {"mid", "leaf"}, {"fan1", "leaf"}, {"root", "fan2"}} {
+			if rec.index(pair[0]) > rec.index(pair[1]) {
+				t.Errorf("par=%d: %q ran after dependent %q (order %v)", par, pair[0], pair[1], rec.order)
+			}
+		}
+	}
+}
+
+func TestFailurePropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ranLeaf, ranSibling atomic.Bool
+	stages := []Stage{
+		{Name: "bad", Run: func() error { return boom }},
+		{Name: "leaf", Deps: []string{"bad"}, Run: func() error { ranLeaf.Store(true); return nil }},
+		{Name: "grandleaf", Deps: []string{"leaf"}, Run: func() error { ranLeaf.Store(true); return nil }},
+		{Name: "sibling", Run: func() error { ranSibling.Store(true); return nil }},
+	}
+	timings, err := Run(stages, Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if ranLeaf.Load() {
+		t.Fatal("dependent of failed stage must not run")
+	}
+	if !ranSibling.Load() {
+		t.Fatal("independent sibling must still run")
+	}
+	byName := map[string]Timing{}
+	for _, tm := range timings {
+		byName[tm.Name] = tm
+	}
+	if tm := byName["bad"]; tm.Skipped || !errors.Is(tm.Err, boom) {
+		t.Fatalf("bad timing = %+v", tm)
+	}
+	for _, name := range []string{"leaf", "grandleaf"} {
+		tm := byName[name]
+		if !tm.Skipped || !errors.Is(tm.Err, ErrDependencySkipped) {
+			t.Fatalf("%s timing = %+v, want skipped with ErrDependencySkipped", name, tm)
+		}
+	}
+	if tm := byName["sibling"]; tm.Skipped || tm.Err != nil {
+		t.Fatalf("sibling timing = %+v", tm)
+	}
+	// The joined error mentions only the root cause, not the cascade.
+	if got := err.Error(); strings.Contains(got, "leaf") {
+		t.Fatalf("error should not include skipped dependents: %v", got)
+	}
+}
+
+func TestStageSubsetting(t *testing.T) {
+	rec := &orderRecorder{}
+	stages := []Stage{
+		rec.stage("root"),
+		rec.stage("mid", "root"),
+		rec.stage("leaf", "mid"),
+		rec.stage("other"),
+	}
+	timings, err := Run(stages, Options{Only: []string{"mid"}, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(rec.order, ","); got != "root,mid" {
+		t.Fatalf("ran %q, want root then mid only", got)
+	}
+	byName := map[string]Timing{}
+	for _, tm := range timings {
+		byName[tm.Name] = tm
+	}
+	for _, name := range []string{"leaf", "other"} {
+		if tm := byName[name]; !tm.Skipped || tm.Err != nil {
+			t.Fatalf("%s timing = %+v, want cleanly skipped", name, tm)
+		}
+	}
+	if _, err := Run(stages, Options{Only: []string{"nope"}}); err == nil {
+		t.Fatal("unknown subset name must error")
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	block := make(chan struct{})
+	var stages []Stage
+	for i := 0; i < 8; i++ {
+		stages = append(stages, Stage{Name: string(rune('a' + i)), Run: func() error {
+			if c := cur.Add(1); c > peak.Load() {
+				peak.Store(c)
+			}
+			<-block
+			cur.Add(-1)
+			return nil
+		}})
+	}
+	done := make(chan struct{})
+	var timings []Timing
+	go func() {
+		timings, _ = Run(stages, Options{Parallelism: 2})
+		close(done)
+	}()
+	// Let the pool saturate, then release everyone.
+	for cur.Load() < 2 {
+	}
+	close(block)
+	<-done
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent stages, want <= 2", got)
+	}
+	for _, tm := range timings {
+		if tm.Skipped {
+			t.Fatalf("stage %s skipped", tm.Name)
+		}
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	if err := Validate([]Stage{{Name: "a", Deps: []string{"missing"}}}); err == nil {
+		t.Fatal("unknown dep must fail validation")
+	}
+	if err := Validate([]Stage{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate name must fail validation")
+	}
+	if err := Validate([]Stage{{Name: "a", Deps: []string{"b"}}, {Name: "b", Deps: []string{"a"}}}); err == nil {
+		t.Fatal("cycle must fail validation")
+	}
+	if _, err := Run([]Stage{{Name: "a", Deps: []string{"a"}}}, Options{}); err == nil {
+		t.Fatal("self-cycle must fail Run")
+	}
+	if err := Validate([]Stage{{Name: "a"}, {Name: "b", Deps: []string{"a"}}}); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if timings, err := Run(nil, Options{}); err != nil || len(timings) != 0 {
+		t.Fatalf("empty graph: %v %v", timings, err)
+	}
+	ran := false
+	timings, err := Run([]Stage{{Name: "only", Run: func() error { ran = true; return nil }}}, Options{Parallelism: 16})
+	if err != nil || !ran {
+		t.Fatalf("single stage: ran=%v err=%v", ran, err)
+	}
+	if timings[0].Skipped || timings[0].Err != nil {
+		t.Fatalf("timing = %+v", timings[0])
+	}
+}
