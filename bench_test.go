@@ -451,6 +451,42 @@ func BenchmarkPipelineStages(b *testing.B) {
 	}
 }
 
+// BenchmarkBetweennessParallel contrasts the sharded Brandes run across
+// worker budgets on the same sampled source set. Scores are bit-identical at
+// every budget (fixed-layout source chunks, partials reduced in chunk
+// order), so this measures pure scheduling gain inside one stage.
+func BenchmarkBetweennessParallel(b *testing.B) {
+	_, ds, _, _ := fixtures(b)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rng := mathx.NewRNG(31)
+			for i := 0; i < b.N; i++ {
+				centrality.ApproxBetweennessWorkers(ds.Graph, 256, rng, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkBootstrapParallel contrasts the CSN goodness-of-fit bootstrap
+// across worker budgets on the canonical out-degree fit. The p-value is
+// bit-identical at every budget (per-replicate derived RNG streams, integer
+// exceedance counts), so this too measures pure scheduling gain.
+func BenchmarkBootstrapParallel(b *testing.B) {
+	_, ds, _, _ := fixtures(b)
+	fit, err := powerlaw.FitDiscrete(ds.Graph.OutDegrees(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rng := mathx.NewRNG(43)
+			for i := 0; i < b.N; i++ {
+				fit.GoodnessOfFitWorkers(50, rng, workers)
+			}
+		})
+	}
+}
+
 // --- §IV-C conjecture validation (paper future work) ---------------------------------------------------
 
 func BenchmarkCoreReciprocityConjecture(b *testing.B) {

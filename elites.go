@@ -15,9 +15,15 @@
 //     Vuong tests, bio n-gram tables, P-spline GAM correlations, and the
 //     §V time-series suite (Ljung–Box, Box–Pierce, ADF, PELT);
 //   - a Characterizer that runs everything as a concurrent analysis stage
-//     graph — independent stages execute in parallel on a bounded pool, with
-//     per-stage RNG streams keeping reports bit-identical at any parallelism
-//     — and renders each of the paper's tables and figures.
+//     graph — independent stages execute in parallel on a bounded pool, the
+//     hottest stages (Brandes betweenness, the goodness-of-fit bootstrap,
+//     graph metrics) additionally shard their inner loops over a shared
+//     process-wide worker pool, and per-stage derived RNG streams plus
+//     ordered reductions keep reports bit-identical at any parallelism —
+//     and renders each of the paper's tables and figures.
+//
+// The execution model (stage graph, determinism contract, shared worker
+// cap) is documented in docs/ARCHITECTURE.md.
 //
 // # Quick start
 //
@@ -263,10 +269,14 @@ var (
 	TopicSensitivePageRank = centrality.TopicSensitivePageRank
 	// DistinctiveTerms finds per-group characteristic vocabulary.
 	DistinctiveTerms = text.DistinctiveTerms
-	// PageRank and Betweenness are the Figure 5 centralities.
-	PageRank          = centrality.PageRank
-	Betweenness       = centrality.Betweenness
-	ApproxBetweenness = centrality.ApproxBetweenness
+	// PageRank and Betweenness are the Figure 5 centralities. The
+	// *Workers variants take an explicit worker budget (<= 0 means
+	// GOMAXPROCS); every budget yields bit-identical scores.
+	PageRank                 = centrality.PageRank
+	Betweenness              = centrality.Betweenness
+	BetweennessWorkers       = centrality.BetweennessWorkers
+	ApproxBetweenness        = centrality.ApproxBetweenness
+	ApproxBetweennessWorkers = centrality.ApproxBetweennessWorkers
 	// TopLaplacianEigenvalues computes the §IV-B spectrum.
 	NewLaplacianOperator  = spectral.NewLaplacianOperator
 	TopEigenvaluesLanczos = spectral.TopEigenvaluesLanczos

@@ -1,0 +1,176 @@
+package centrality
+
+import (
+	"strconv"
+	"sync"
+
+	"elites/internal/graph"
+	"elites/internal/mathx"
+	"elites/internal/parallel"
+)
+
+// maxBetweennessPartials bounds how many partial score vectors a parallel
+// Brandes run materializes. Sources are split into at most this many
+// fixed-layout chunks — a function of the source count only, never of the
+// worker count — and the per-chunk vectors are summed in chunk order, so
+// floating-point results are bit-identical at every parallelism level while
+// memory stays at O(partials · n) rather than O(sources · n).
+const maxBetweennessPartials = 64
+
+// betweennessWorkspace holds the per-source scratch of Brandes' algorithm so
+// parallel workers do not allocate per BFS.
+type betweennessWorkspace struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []int32   // nodes in BFS visit order
+	preds [][]int32 // predecessor lists
+}
+
+func newBetweennessWorkspace(n int) *betweennessWorkspace {
+	return &betweennessWorkspace{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		order: make([]int32, 0, n),
+		preds: make([][]int32, n),
+	}
+}
+
+// accumulate runs a single Brandes source iteration, adding partial
+// dependencies into bc.
+func (w *betweennessWorkspace) accumulate(g *graph.Digraph, s int, bc []float64) {
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		w.dist[i] = -1
+		w.sigma[i] = 0
+		w.delta[i] = 0
+		w.preds[i] = w.preds[i][:0]
+	}
+	w.order = w.order[:0]
+	w.dist[s] = 0
+	w.sigma[s] = 1
+	queue := append(w.order, int32(s)) // reuse backing array as queue
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := w.dist[u]
+		for _, v := range g.OutNeighbors(int(u)) {
+			if w.dist[v] < 0 {
+				w.dist[v] = du + 1
+				queue = append(queue, v)
+			}
+			if w.dist[v] == du+1 {
+				w.sigma[v] += w.sigma[u]
+				w.preds[v] = append(w.preds[v], u)
+			}
+		}
+	}
+	w.order = queue
+	// Dependency accumulation in reverse BFS order.
+	for i := len(w.order) - 1; i >= 0; i-- {
+		v := w.order[i]
+		coef := (1 + w.delta[v]) / w.sigma[v]
+		for _, u := range w.preds[v] {
+			w.delta[u] += w.sigma[u] * coef
+		}
+		if int(v) != s {
+			bc[v] += w.delta[v]
+		}
+	}
+}
+
+// Betweenness computes exact betweenness centrality for all nodes with
+// Brandes' algorithm, parallelized over sources on the shared worker pool.
+// Directed; scores are raw dependency sums (no normalization), matching
+// networkx's betweenness_centrality(normalized=False).
+func Betweenness(g *graph.Digraph) []float64 {
+	return BetweennessWorkers(g, 0)
+}
+
+// BetweennessWorkers is Betweenness with an explicit worker budget
+// (<= 0 means GOMAXPROCS). Results are bit-identical at every budget.
+func BetweennessWorkers(g *graph.Digraph, workers int) []float64 {
+	n := g.NumNodes()
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	return betweennessFrom(g, sources, 1, workers)
+}
+
+// ApproxBetweenness estimates betweenness from k uniformly sampled sources,
+// scaled by n/k so that values are comparable to the exact ones (Brandes &
+// Pich source sampling). Sampling error concentrates on low-betweenness
+// nodes; the paper's Figure 5 uses ranks of high-betweenness nodes, which
+// stabilize quickly (see BenchmarkAblationBetweennessSampling). Note that
+// rng is used only as a key for derived streams and is never advanced:
+// calling twice with the same generator samples the same source set. For an
+// independent resample, pass a different generator (or Split).
+func ApproxBetweenness(g *graph.Digraph, k int, rng *mathx.RNG) []float64 {
+	return ApproxBetweennessWorkers(g, k, rng, 0)
+}
+
+// ApproxBetweennessWorkers is ApproxBetweenness with an explicit worker
+// budget (<= 0 means GOMAXPROCS). Each sampling draw comes from its own
+// stream derived from rng (which is not advanced), so the sampled source set
+// is a pure function of the rng state and k — independent of scheduling,
+// worker count, and any other use of rng.
+func ApproxBetweennessWorkers(g *graph.Digraph, k int, rng *mathx.RNG, workers int) []float64 {
+	n := g.NumNodes()
+	if k >= n {
+		return BetweennessWorkers(g, workers)
+	}
+	return betweennessFrom(g, sampleSources(n, k, rng), float64(n)/float64(k), workers)
+}
+
+// sampleSources draws k distinct sources from [0, n) by a partial
+// Fisher–Yates shuffle whose j-th swap index comes from the derived stream
+// "source/j". Derive does not advance rng, so the sample commutes with every
+// other consumer of the generator and with scheduling order.
+func sampleSources(n, k int, rng *mathx.RNG) []int {
+	pool := make([]int, n)
+	for i := range pool {
+		pool[i] = i
+	}
+	for j := 0; j < k; j++ {
+		r := rng.Derive("source/" + strconv.Itoa(j))
+		i := j + r.Intn(n-j)
+		pool[j], pool[i] = pool[i], pool[j]
+	}
+	return pool[:k]
+}
+
+// betweennessFrom runs Brandes over the given sources, sharded into
+// fixed-layout chunks (at most maxBetweennessPartials of them) on the shared
+// worker pool. Each chunk accumulates its sources — in source order — into a
+// private partial vector; partials are then summed in chunk order, so the
+// result is bit-identical whatever the worker budget or schedule.
+func betweennessFrom(g *graph.Digraph, sources []int, scale float64, workers int) []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	if len(sources) == 0 {
+		return bc
+	}
+	width := (len(sources) + maxBetweennessPartials - 1) / maxBetweennessPartials
+	pool := sync.Pool{New: func() any { return newBetweennessWorkspace(n) }}
+	partials := parallel.ChunkReduce(len(sources), width, workers, func(lo, hi int) []float64 {
+		ws := pool.Get().(*betweennessWorkspace)
+		part := make([]float64, n)
+		for _, s := range sources[lo:hi] {
+			ws.accumulate(g, s, part)
+		}
+		pool.Put(ws)
+		return part
+	})
+	for _, p := range partials {
+		for i, v := range p {
+			bc[i] += v
+		}
+	}
+	if scale != 1 {
+		for i := range bc {
+			bc[i] *= scale
+		}
+	}
+	return bc
+}

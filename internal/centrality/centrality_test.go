@@ -1,6 +1,7 @@
 package centrality
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -271,4 +272,56 @@ func argMaxF(x []float64) int {
 		}
 	}
 	return best
+}
+
+// equalBits fails the test unless two score vectors are bit-identical —
+// the worker-invariance contract is exact float equality, not tolerance.
+func equalBits(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("%s: node %d: %v (%x) vs %v (%x)",
+				label, v, got[v], math.Float64bits(got[v]), want[v], math.Float64bits(want[v]))
+		}
+	}
+}
+
+// TestBetweennessWorkerInvariance: exact Betweenness must be byte-identical
+// at worker budgets 1, 4 and 7 — including graphs with fewer sources than
+// workers — because source chunks have a fixed layout and their partial
+// vectors are reduced in chunk order.
+func TestBetweennessWorkerInvariance(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	for _, n := range []int{3, 40, 150} { // n=3 exercises sources < workers
+		g := randomDigraph(rng, n, 0.1)
+		ref := BetweennessWorkers(g, 1)
+		for _, workers := range []int{4, 7} {
+			equalBits(t, fmt.Sprintf("n=%d workers=%d", n, workers),
+				BetweennessWorkers(g, workers), ref)
+		}
+	}
+}
+
+// TestApproxBetweennessWorkerInvariance: the sampled variant must be
+// byte-identical across worker budgets too, and — because source draws come
+// from derived streams that never advance the caller's generator — repeated
+// calls with the same generator must agree exactly.
+func TestApproxBetweennessWorkerInvariance(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	g := randomDigraph(rng, 150, 0.05)
+	base := mathx.NewRNG(77)
+	ref := ApproxBetweennessWorkers(g, 40, base, 1)
+	for _, workers := range []int{4, 7} {
+		equalBits(t, fmt.Sprintf("workers=%d", workers),
+			ApproxBetweennessWorkers(g, 40, base, workers), ref)
+	}
+	equalBits(t, "repeat call", ApproxBetweennessWorkers(g, 40, base, 3), ref)
+	// k > sources-per-chunk with workers > k: the n < workers edge case.
+	small := randomDigraph(rng, 6, 0.3)
+	equalBits(t, "k<workers",
+		ApproxBetweennessWorkers(small, 3, base, 7),
+		ApproxBetweennessWorkers(small, 3, base, 1))
 }

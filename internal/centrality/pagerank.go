@@ -1,15 +1,15 @@
 // Package centrality implements the node-importance measures used in the
 // paper's Figure 5 analysis: PageRank (power iteration with dangling-mass
-// redistribution), Brandes betweenness centrality (exact and source-sampled),
-// HITS hubs/authorities and closeness. All routines operate on the CSR
-// digraphs of internal/graph and are deterministic given their inputs.
+// redistribution), Brandes betweenness centrality (exact and source-sampled,
+// parallelized over sources with ordered reduction so scores are
+// bit-identical at any worker count), HITS hubs/authorities and closeness.
+// All routines operate on the CSR digraphs of internal/graph and are
+// deterministic given their inputs, whatever the scheduling.
 package centrality
 
 import (
 	"errors"
 	"math"
-	"runtime"
-	"sync"
 
 	"elites/internal/graph"
 	"elites/internal/mathx"
@@ -274,131 +274,4 @@ func Closeness(g *graph.Digraph, k int, rng *mathx.RNG) []float64 {
 		scores[i] /= float64(len(sources))
 	}
 	return scores
-}
-
-// betweennessWorkspace holds the per-source scratch of Brandes' algorithm so
-// parallel workers do not allocate per BFS.
-type betweennessWorkspace struct {
-	dist  []int32
-	sigma []float64
-	delta []float64
-	order []int32   // nodes in BFS visit order
-	preds [][]int32 // predecessor lists
-}
-
-func newBetweennessWorkspace(n int) *betweennessWorkspace {
-	return &betweennessWorkspace{
-		dist:  make([]int32, n),
-		sigma: make([]float64, n),
-		delta: make([]float64, n),
-		order: make([]int32, 0, n),
-		preds: make([][]int32, n),
-	}
-}
-
-// accumulate runs a single Brandes source iteration, adding partial
-// dependencies into bc.
-func (w *betweennessWorkspace) accumulate(g *graph.Digraph, s int, bc []float64) {
-	n := g.NumNodes()
-	for i := 0; i < n; i++ {
-		w.dist[i] = -1
-		w.sigma[i] = 0
-		w.delta[i] = 0
-		w.preds[i] = w.preds[i][:0]
-	}
-	w.order = w.order[:0]
-	w.dist[s] = 0
-	w.sigma[s] = 1
-	queue := append(w.order, int32(s)) // reuse backing array as queue
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := w.dist[u]
-		for _, v := range g.OutNeighbors(int(u)) {
-			if w.dist[v] < 0 {
-				w.dist[v] = du + 1
-				queue = append(queue, v)
-			}
-			if w.dist[v] == du+1 {
-				w.sigma[v] += w.sigma[u]
-				w.preds[v] = append(w.preds[v], u)
-			}
-		}
-	}
-	w.order = queue
-	// Dependency accumulation in reverse BFS order.
-	for i := len(w.order) - 1; i >= 0; i-- {
-		v := w.order[i]
-		coef := (1 + w.delta[v]) / w.sigma[v]
-		for _, u := range w.preds[v] {
-			w.delta[u] += w.sigma[u] * coef
-		}
-		if int(v) != s {
-			bc[v] += w.delta[v]
-		}
-	}
-}
-
-// Betweenness computes exact betweenness centrality for all nodes with
-// Brandes' algorithm, parallelized over sources. Directed; scores are raw
-// dependency sums (no normalization), matching networkx's
-// betweenness_centrality(normalized=False).
-func Betweenness(g *graph.Digraph) []float64 {
-	n := g.NumNodes()
-	sources := make([]int, n)
-	for i := range sources {
-		sources[i] = i
-	}
-	return betweennessFrom(g, sources, 1)
-}
-
-// ApproxBetweenness estimates betweenness from k uniformly sampled sources,
-// scaled by n/k so that values are comparable to the exact ones (Brandes &
-// Pich source sampling). Sampling error concentrates on low-betweenness
-// nodes; the paper's Figure 5 uses ranks of high-betweenness nodes, which
-// stabilize quickly (see BenchmarkAblationBetweennessSampling).
-func ApproxBetweenness(g *graph.Digraph, k int, rng *mathx.RNG) []float64 {
-	n := g.NumNodes()
-	if k >= n {
-		return Betweenness(g)
-	}
-	sources := rng.Perm(n)[:k]
-	return betweennessFrom(g, sources, float64(n)/float64(k))
-}
-
-func betweennessFrom(g *graph.Digraph, sources []int, scale float64) []float64 {
-	n := g.NumNodes()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ws := newBetweennessWorkspace(n)
-			bc := make([]float64, n)
-			for idx := w; idx < len(sources); idx += workers {
-				ws.accumulate(g, sources[idx], bc)
-			}
-			partials[w] = bc
-		}(w)
-	}
-	wg.Wait()
-	bc := make([]float64, n)
-	for _, p := range partials {
-		for i, v := range p {
-			bc[i] += v
-		}
-	}
-	if scale != 1 {
-		for i := range bc {
-			bc[i] *= scale
-		}
-	}
-	return bc
 }

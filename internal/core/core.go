@@ -59,11 +59,15 @@ type Options struct {
 	// mutual-core validation.
 	SkipCategories bool
 	// Parallelism bounds how many analysis stages run concurrently
-	// (0 = GOMAXPROCS, 1 = one stage at a time). Individual stages may
-	// still shard their own hot loops across cores. Reports are
+	// (0 = GOMAXPROCS, 1 = one stage at a time) and is also the worker
+	// budget handed to the stages that shard their own hot loops
+	// (betweenness sources, bootstrap replicates); all sharded loops
+	// additionally respect one process-wide worker cap (internal/parallel)
+	// so concurrent stages compose instead of oversubscribing. Reports are
 	// bit-identical across parallelism levels: every stochastic stage
 	// draws from its own RNG stream derived from Seed, never from a
-	// shared sequence.
+	// shared sequence, and every sharded reduction combines fixed-layout
+	// partials in a fixed order.
 	Parallelism int
 	// Stages restricts the run to the named stages plus their transitive
 	// dependencies (nil = all). See StageNames for the vocabulary; names
@@ -434,7 +438,7 @@ func (c *Characterizer) degreeAnalysis(rep *Report, g *graph.Digraph, rng *mathx
 	}
 	pa := &PowerLawAnalysis{Fit: fit, GoFP: nan()}
 	if !c.opts.SkipBootstrap {
-		pa.GoFP = fit.GoodnessOfFit(c.opts.BootstrapReps, rng)
+		pa.GoFP = fit.GoodnessOfFitWorkers(c.opts.BootstrapReps, rng, c.opts.Parallelism)
 	}
 	pa.Vuong = fit.CompareAll()
 	rep.Degree = pa
@@ -452,7 +456,7 @@ func (c *Characterizer) eigenAnalysis(rep *Report, g *graph.Digraph, rng *mathx.
 	}
 	pa := &PowerLawAnalysis{Fit: fit, GoFP: nan()}
 	if !c.opts.SkipBootstrap {
-		pa.GoFP = fit.GoodnessOfFit(c.opts.BootstrapReps, rng)
+		pa.GoFP = fit.GoodnessOfFitWorkers(c.opts.BootstrapReps, rng, c.opts.Parallelism)
 	}
 	// Poisson does not apply to continuous eigenvalues; CompareAll
 	// handles that by skipping it.
@@ -502,7 +506,7 @@ func (c *Characterizer) centralityAnalysis(rep *Report, ds *twitter.Dataset, rng
 	statuses := ds.MetricValues(twitter.MetricStatuses)
 	var bc []float64
 	if !c.opts.SkipBetweenness {
-		bc = centrality.ApproxBetweenness(g, c.opts.BetweennessSources, rng)
+		bc = centrality.ApproxBetweennessWorkers(g, c.opts.BetweennessSources, rng, c.opts.Parallelism)
 	}
 	panels := []struct {
 		label string

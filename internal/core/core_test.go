@@ -256,6 +256,43 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminismHeavyStages pins the acceptance criterion for the
+// intra-stage parallelism: with betweenness and the CSN bootstraps enabled —
+// the two stages that shard their own hot loops and hand Options.Parallelism
+// through as their worker budget — the rendered report must still be
+// byte-identical between Parallelism 1 and 8.
+func TestParallelDeterminismHeavyStages(t *testing.T) {
+	_, ds := testPlatform(t)
+	render := func(parallelism int) string {
+		opts := Options{
+			DistanceSources:    40,
+			BetweennessSources: 24,
+			BootstrapReps:      10,
+			Seed:               5,
+			SkipEigen:          true, // keep the test fast; eigen has no sharded loop
+			Stages:             []string{StageDegree, StageCentrality},
+			Parallelism:        parallelism,
+		}
+		rep, err := NewCharacterizer(opts).Run(ds, nil)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if rep.Degree == nil || math.IsNaN(rep.Degree.GoFP) {
+			t.Fatalf("parallelism %d: bootstrap did not run", parallelism)
+		}
+		if len(rep.Centrality) == 0 {
+			t.Fatalf("parallelism %d: betweenness panels missing", parallelism)
+		}
+		var sb strings.Builder
+		rep.Render(&sb)
+		return sb.String()
+	}
+	seq := render(1)
+	if got := render(8); got != seq {
+		t.Fatal("heavy-stage report at parallelism 8 differs from sequential run")
+	}
+}
+
 func TestStageSubsetOption(t *testing.T) {
 	_, ds := testPlatform(t)
 	opts := fastOptions()

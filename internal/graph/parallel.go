@@ -1,10 +1,6 @@
 package graph
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "elites/internal/parallel"
 
 // metricChunk is the fixed shard width (in nodes) for parallel metric
 // reductions. It is a constant — not a function of the worker count — so
@@ -12,54 +8,9 @@ import (
 // floating-point results are bit-identical whatever GOMAXPROCS is.
 const metricChunk = 2048
 
-// metricTokens caps the total number of concurrently executing chunk
-// workers process-wide. Several metric stages can run at once under the
-// analysis pipeline; without the shared cap each would spawn GOMAXPROCS
-// CPU-bound workers and oversubscribe the scheduler.
-var metricTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
-
-// chunkReduce splits [0, n) into fixed-width chunks, evaluates fn on each
-// chunk from a bounded worker pool, and returns the per-chunk results in
-// chunk order. Chunks are claimed with an atomic counter, so scheduling is
-// dynamic but the output layout — and therefore any ordered reduction over
-// it — is deterministic.
+// chunkReduce shards [0, n) over the process-wide worker pool shared by
+// every CPU-bound loop in the library (see internal/parallel), returning
+// per-chunk results in chunk order for deterministic reduction.
 func chunkReduce[T any](n int, fn func(lo, hi int) T) []T {
-	if n <= 0 {
-		return nil
-	}
-	chunks := (n + metricChunk - 1) / metricChunk
-	out := make([]T, chunks)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			lo := c * metricChunk
-			hi := min(lo+metricChunk, n)
-			out[c] = fn(lo, hi)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			metricTokens <- struct{}{}
-			defer func() { <-metricTokens }()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * metricChunk
-				hi := min(lo+metricChunk, n)
-				out[c] = fn(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return parallel.ChunkReduce(n, metricChunk, 0, fn)
 }

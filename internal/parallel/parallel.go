@@ -1,0 +1,91 @@
+// Package parallel is the shared intra-stage scheduling substrate for the
+// library's CPU-bound hot loops. Graph metrics (internal/graph), Brandes
+// betweenness (internal/centrality) and the Clauset–Shalizi–Newman bootstrap
+// (internal/powerlaw) all shard their work through ChunkReduce, so every
+// sharded loop in the process competes for one global token pool instead of
+// each spawning GOMAXPROCS goroutines and oversubscribing the scheduler when
+// several pipeline stages run at once.
+//
+// The package enforces the library's determinism contract for data
+// parallelism: work is split into fixed-width chunks whose layout depends
+// only on the problem size — never on the worker count — and per-chunk
+// results are returned in chunk order so callers can reduce them with a
+// deterministic (in particular, floating-point-stable) left fold. Scheduling
+// is dynamic; the reduction order is not. See docs/ARCHITECTURE.md.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens caps the total number of concurrently executing chunk workers
+// process-wide. Several analysis stages can shard their loops at once under
+// the pipeline scheduler; the shared cap composes their demands instead of
+// multiplying them.
+var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Workers resolves a caller-supplied worker budget: values <= 0 select
+// GOMAXPROCS. This is the same convention as core.Options.Parallelism, so a
+// budget can be threaded through unmodified.
+func Workers(budget int) int {
+	if budget <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return budget
+}
+
+// ChunkReduce splits [0, n) into fixed-width chunks, evaluates fn on each
+// chunk from a bounded worker pool, and returns the per-chunk results in
+// chunk order. At most Workers(workers) goroutines run fn, each holding a
+// process-wide token while it works. Chunks are claimed with an atomic
+// counter, so scheduling is dynamic but the output layout — and therefore
+// any ordered reduction over it — is identical at every worker count.
+//
+// chunk is the shard width in items and must not be derived from the worker
+// count, or the determinism guarantee is lost; chunk <= 0 selects a single
+// chunk covering all of [0, n).
+func ChunkReduce[T any](n, chunk, workers int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = n
+	}
+	chunks := (n + chunk - 1) / chunk
+	out := make([]T, chunks)
+	w := Workers(workers)
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * chunk
+			hi := min(lo+chunk, n)
+			out[c] = fn(lo, hi)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tokens <- struct{}{}
+			defer func() { <-tokens }()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunk
+				hi := min(lo+chunk, n)
+				out[c] = fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkReduceCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 4097} {
+		for _, workers := range []int{0, 1, 3, 16} {
+			var total atomic.Int64
+			parts := ChunkReduce(n, 7, workers, func(lo, hi int) int {
+				s := 0
+				for i := lo; i < hi; i++ {
+					total.Add(1)
+					s += i
+				}
+				return s
+			})
+			sum := 0
+			for _, p := range parts {
+				sum += p
+			}
+			want := n * (n - 1) / 2
+			if sum != want {
+				t.Fatalf("n=%d workers=%d: sum=%d want %d", n, workers, sum, want)
+			}
+			if int(total.Load()) != n {
+				t.Fatalf("n=%d workers=%d: visited %d items", n, workers, total.Load())
+			}
+		}
+	}
+}
+
+// TestChunkReduceOrderInvariant checks the determinism contract: the
+// per-chunk output layout is identical at every worker count, so an ordered
+// fold over it cannot depend on scheduling.
+func TestChunkReduceOrderInvariant(t *testing.T) {
+	const n, chunk = 1000, 13
+	fn := func(lo, hi int) [2]int { return [2]int{lo, hi} }
+	ref := ChunkReduce(n, chunk, 1, fn)
+	for _, workers := range []int{2, 4, 7, 32} {
+		got := ChunkReduce(n, chunk, workers, fn)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: chunk layout differs from sequential", workers)
+		}
+	}
+}
+
+func TestChunkReduceDegenerateChunk(t *testing.T) {
+	parts := ChunkReduce(10, 0, 4, func(lo, hi int) int { return hi - lo })
+	if len(parts) != 1 || parts[0] != 10 {
+		t.Fatalf("chunk<=0 must yield one full-range chunk, got %v", parts)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive budget must pass through")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("non-positive budget must resolve to at least one worker")
+	}
+}

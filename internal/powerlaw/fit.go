@@ -8,7 +8,10 @@
 //   - selection of the lower cutoff xmin by minimizing the Kolmogorov–
 //     Smirnov distance of the fitted tail;
 //   - a semiparametric bootstrap goodness-of-fit p-value (p > 0.1 is the
-//     conventional "plausible power law" threshold used in the paper);
+//     conventional "plausible power law" threshold used in the paper),
+//     with replicates running concurrently on the shared worker pool from
+//     per-replicate derived RNG streams, so the p-value is bit-identical at
+//     any worker count;
 //   - Vuong likelihood-ratio comparisons against lognormal, exponential
 //     and Poisson alternatives fitted to the same tail.
 package powerlaw
@@ -17,8 +20,10 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"strconv"
 
 	"elites/internal/mathx"
+	"elites/internal/parallel"
 )
 
 // ErrTooFewPoints indicates not enough tail data to fit (need >= 2 distinct
@@ -281,7 +286,22 @@ func (f *Fit) CCDF(x float64) float64 {
 // fitted law, refits (including the xmin scan), and compares KS distances.
 // p is the fraction of replicates whose KS exceeds the observed one; p > 0.1
 // supports the power law. B = 100 gives ±0.05 resolution.
+//
+// Replicates run concurrently on the shared worker pool; see
+// GoodnessOfFitWorkers for the determinism contract. Note that rng is used
+// only as a key for derived streams and is never advanced: calling
+// GoodnessOfFit twice with the same generator returns the same p-value.
+// For a second independent estimate, pass a different generator (or Split).
 func (f *Fit) GoodnessOfFit(B int, rng *mathx.RNG) float64 {
+	return f.GoodnessOfFitWorkers(B, rng, 0)
+}
+
+// GoodnessOfFitWorkers is GoodnessOfFit with an explicit worker budget
+// (<= 0 means GOMAXPROCS). Replicate b draws from its own RNG stream derived
+// from rng as "gof/b" — rng itself is never advanced — so the p-value is a
+// pure function of the fit, B and the rng state: bit-identical at every
+// worker count and schedule, and unaffected by other consumers of rng.
+func (f *Fit) GoodnessOfFitWorkers(B int, rng *mathx.RNG, workers int) float64 {
 	if B <= 0 {
 		B = 100
 	}
@@ -289,24 +309,33 @@ func (f *Fit) GoodnessOfFit(B int, rng *mathx.RNG) float64 {
 	body := f.sorted[:i]
 	nTail := f.N - i
 	pTail := float64(nTail) / float64(f.N)
-	exceed := 0
-	synth := make([]float64, f.N)
-	for b := 0; b < B; b++ {
-		for j := 0; j < f.N; j++ {
-			if len(body) == 0 || rng.Bool(pTail) {
-				synth[j] = f.sample(rng)
-			} else {
-				synth[j] = body[rng.Intn(len(body))]
+	// One replicate per chunk: each refit dominates the Derive cost, and an
+	// exceedance count is an integer, so any summation order is exact.
+	parts := parallel.ChunkReduce(B, 1, workers, func(lo, hi int) int {
+		exceed := 0
+		for b := lo; b < hi; b++ {
+			r := rng.Derive("gof/" + strconv.Itoa(b))
+			data := make([]float64, f.N)
+			for j := range data {
+				if len(body) == 0 || r.Bool(pTail) {
+					data[j] = f.sample(r)
+				} else {
+					data[j] = body[r.Intn(len(body))]
+				}
+			}
+			ff, err := fit(data, f.Discrete, f.opts)
+			if err != nil {
+				continue
+			}
+			if ff.KS >= f.KS {
+				exceed++
 			}
 		}
-		data := append([]float64(nil), synth...)
-		ff, err := fit(data, f.Discrete, f.opts)
-		if err != nil {
-			continue
-		}
-		if ff.KS >= f.KS {
-			exceed++
-		}
+		return exceed
+	})
+	exceed := 0
+	for _, p := range parts {
+		exceed += p
 	}
 	return float64(exceed) / float64(B)
 }

@@ -205,3 +205,32 @@ func TestTailCopy(t *testing.T) {
 		t.Fatal("Tail returned aliased storage")
 	}
 }
+
+// TestGoodnessOfFitWorkerInvariance: the bootstrap p-value must be
+// byte-identical at worker budgets 1, 4 and 7 — including B < workers —
+// because every replicate draws from its own derived stream and exceedance
+// counts are integers. Repeated calls with the same generator must also
+// agree, since Derive never advances it.
+func TestGoodnessOfFitWorkerInvariance(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	data := make([]int, 800)
+	for i := range data {
+		data[i] = rng.ParetoInt(1, 2.4)
+	}
+	fit, err := FitDiscrete(data, &Options{MaxXminCandidates: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mathx.NewRNG(99)
+	for _, B := range []int{3, 24} { // B=3 exercises replicates < workers
+		ref := fit.GoodnessOfFitWorkers(B, base, 1)
+		for _, workers := range []int{4, 7} {
+			if got := fit.GoodnessOfFitWorkers(B, base, workers); got != ref {
+				t.Fatalf("B=%d workers=%d: p=%v vs sequential %v", B, workers, got, ref)
+			}
+		}
+		if again := fit.GoodnessOfFitWorkers(B, base, 3); again != ref {
+			t.Fatalf("B=%d: repeat call p=%v vs %v (base generator advanced?)", B, again, ref)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check_md_links.sh — sanity-check relative links in the repo's Markdown:
+# every non-URL, non-anchor link target must exist on disk, relative to the
+# file that references it. Run from the repo root.
+set -eu
+
+fail=0
+for md in $(find . -name '*.md' ! -path './.git/*'); do
+    base=$(dirname "$md")
+    # Inline links: [text](target). Strip any #fragment before testing.
+    for target in $(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//'); do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="$base/${target%%#*}"
+        if [ ! -e "$path" ]; then
+            echo "broken link in $md: $target"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "markdown links: OK"

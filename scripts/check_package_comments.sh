@@ -1,0 +1,35 @@
+#!/bin/sh
+# check_package_comments.sh — fail if any Go package lacks a package-level
+# doc comment (the revive "package-comments" rule, without the dependency).
+#
+# A package passes if at least one of its non-test .go files has a comment
+# line immediately preceding its `package` clause. Run from the repo root.
+set -eu
+
+fail=0
+for dir in $(find . -name '*.go' ! -path './.git/*' -exec dirname {} \; | sort -u); do
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        [ -e "$f" ] || continue
+        # A doc comment is a // or */ line directly above `package X`.
+        if awk '
+            /^package[ \t]/ { if (prev ~ /^\/\// || prev ~ /\*\/[ \t]*$/) found = 1; exit }
+            { if ($0 != "") prev = $0 }
+            END { exit found ? 0 : 1 }
+        ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "missing package comment: $dir"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "every package needs a doc comment (see docs/ARCHITECTURE.md and godoc conventions)" >&2
+    exit 1
+fi
+echo "package comments: OK"
