@@ -13,10 +13,12 @@ package elites
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
 
+	"elites/internal/cache"
 	"elites/internal/centrality"
 	"elites/internal/core"
 	"elites/internal/gen"
@@ -429,6 +431,69 @@ func BenchmarkFullCharacterizationParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCharacterizationCache contrasts the same full characterization
+// cold (fresh cache directory every iteration: every cached stage misses,
+// computes and stores) against warm (pre-populated directory: betweenness,
+// both bootstraps and the distance sweep hydrate from the cache). Reports
+// are byte-identical either way — the warm number is what a production
+// re-analysis over an unchanged crawl pays. scripts/bench.sh records both
+// into BENCH_results.json.
+func BenchmarkCharacterizationCache(b *testing.B) {
+	_, ds, activity, _ := fixtures(b)
+	opts := func(dir string) core.Options {
+		return core.Options{
+			BootstrapReps: 25, EigenK: 100, BetweennessSources: 128,
+			DistanceSources: 150, Seed: 23, CacheDir: dir,
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp(b.TempDir(), "cold")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := core.NewCharacterizer(opts(dir)).Run(ds, activity); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			cache.Release(dir) // each iteration's dir is throwaway
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		rep, err := core.NewCharacterizer(opts(dir)).Run(ds, activity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Cache == nil || len(rep.Cache.Misses) == 0 {
+			b.Fatal("priming run did not populate the cache")
+		}
+		cc, err := cache.New(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Empty the in-process tier so every iteration pays the full
+			// disk path (open, checksum, decode) — what a fresh-process
+			// production re-run pays, which is the number this records.
+			b.StopTimer()
+			cc.DropMemory()
+			b.StartTimer()
+			rep, err := core.NewCharacterizer(opts(dir)).Run(ds, activity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Cache.Hits) != 4 {
+				b.Fatalf("warm run hits = %v", rep.Cache.Hits)
+			}
+		}
+	})
 }
 
 // BenchmarkPipelineStages times every analysis stage in isolation through

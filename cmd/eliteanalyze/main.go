@@ -12,6 +12,13 @@
 // per-stage wall-clock table after the report. Reports are bit-identical at
 // any -parallel value for a given seed.
 //
+// -cache enables the content-addressed per-stage result cache rooted at the
+// given directory: re-runs over an unchanged dataset and options hydrate
+// the expensive stages (betweenness, bootstraps, distance sweeps) from disk
+// instead of recomputing them, printing the same report byte for byte. A
+// one-line hit/miss summary goes to stderr (stdout carries only the
+// report); -no-cache bypasses a configured cache.
+//
 // Usage:
 //
 //	eliteanalyze -data ./dataset          # analyze a saved dataset
@@ -19,6 +26,7 @@
 //	eliteanalyze -n 10000 -fast          # skip the slow analyses
 //	eliteanalyze -parallel 1 -timings    # one stage at a time, with clocks
 //	eliteanalyze -stages summary,degree  # just those stages (and deps)
+//	eliteanalyze -cache ~/.elites-cache  # warm re-runs skip heavy stages
 package main
 
 import (
@@ -44,15 +52,17 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent analysis stages (0 = all cores, 1 = one stage at a time)")
 		stagesF  = flag.String("stages", "", "comma-separated stage subset, e.g. summary,degree (available: "+strings.Join(elites.StageNames(), ",")+")")
 		timings  = flag.Bool("timings", false, "print a per-stage wall-clock table after the report")
+		cacheDir = flag.String("cache", "", "directory for the per-stage result cache (warm re-runs skip the heavy stages)")
+		noCache  = flag.Bool("no-cache", false, "bypass the result cache even when -cache is set")
 	)
 	flag.Parse()
-	if err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings); err != nil {
+	if err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache); err != nil {
 		fmt.Fprintln(os.Stderr, "eliteanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool) error {
+func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool) error {
 	var (
 		ds       *elites.Dataset
 		activity *elites.DailySeries
@@ -73,7 +83,10 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 		ds = elites.DatasetFromPlatform(p)
 		activity = p.ActivitySeries(p.EnglishNodes())
 	}
-	opts := elites.Options{Seed: seed, Parallelism: parallel, Timings: timings}
+	opts := elites.Options{
+		Seed: seed, Parallelism: parallel, Timings: timings,
+		CacheDir: cacheDir, NoCache: noCache,
+	}
 	if fast {
 		opts.SkipEigen = true
 		opts.SkipBetweenness = true
@@ -92,6 +105,13 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 		return err
 	}
 	rep.Render(os.Stdout)
+	if rep.Cache != nil {
+		// Stderr, so stdout stays byte-comparable between cold and warm
+		// runs (the CI smoke test relies on this).
+		fmt.Fprintf(os.Stderr, "eliteanalyze: cache %s: hits=%d %v misses=%d %v\n",
+			rep.Cache.Dir, len(rep.Cache.Hits), rep.Cache.Hits,
+			len(rep.Cache.Misses), rep.Cache.Misses)
+	}
 	if timings {
 		renderTimings(os.Stdout, rep.Timings)
 	}
@@ -116,7 +136,11 @@ func renderTimings(w io.Writer, timings []elites.StageTiming) {
 	var total float64
 	for _, tm := range timings {
 		ms := float64(tm.Duration.Microseconds()) / 1000
-		fmt.Fprintf(w, "%-14s %12.3fms\n", tm.Name, ms)
+		marker := ""
+		if tm.CacheHit {
+			marker = "  (cached)"
+		}
+		fmt.Fprintf(w, "%-14s %12.3fms%s\n", tm.Name, ms, marker)
 		total += ms
 	}
 	fmt.Fprintf(w, "%-14s %12.3fms\n", "stage-wall sum", total)

@@ -17,10 +17,13 @@
 //   - a Characterizer that runs everything as a concurrent analysis stage
 //     graph — independent stages execute in parallel on a bounded pool, the
 //     hottest stages (Brandes betweenness, the goodness-of-fit bootstrap,
-//     graph metrics) additionally shard their inner loops over a shared
-//     process-wide worker pool, and per-stage derived RNG streams plus
-//     ordered reductions keep reports bit-identical at any parallelism —
-//     and renders each of the paper's tables and figures.
+//     graph metrics, BFS distance sweeps) additionally shard their inner
+//     loops over a shared process-wide worker pool, and per-stage derived
+//     RNG streams plus ordered reductions keep reports bit-identical at any
+//     parallelism — and renders each of the paper's tables and figures.
+//     With Options.CacheDir set, the expensive stages are served from a
+//     content-addressed result cache on re-runs (Report.Cache reports the
+//     traffic), rendering byte-identically to a cold run.
 //
 // The execution model (stage graph, determinism contract, shared worker
 // cap) is documented in docs/ARCHITECTURE.md.
@@ -96,6 +99,11 @@ var (
 	ExactDistances = graph.ExactDistances
 	// SampledDistances estimates the distance distribution from k sources.
 	SampledDistances = graph.SampledDistances
+	// ExactDistancesWorkers and SampledDistancesWorkers take an explicit
+	// worker budget (<= 0 means GOMAXPROCS); every budget yields an
+	// identical distribution.
+	ExactDistancesWorkers   = graph.ExactDistancesWorkers
+	SampledDistancesWorkers = graph.SampledDistancesWorkers
 	// BFS computes single-source hop distances.
 	BFS = graph.BFS
 	// KCores computes the k-core decomposition (Batagelj–Zaveršnik).
@@ -194,8 +202,12 @@ type (
 	// tables and figures.
 	Report = core.Report
 	// StageTiming is one pipeline stage's measured wall clock
-	// (collected when Options.Timings is set).
+	// (collected when Options.Timings is set; CacheHit marks stages
+	// hydrated from the result cache).
 	StageTiming = core.StageTiming
+	// CacheReport summarizes result-cache hits and misses for a Run
+	// (present on Report.Cache when Options.CacheDir enabled the cache).
+	CacheReport = core.CacheReport
 	// Fingerprint is the structural signature of a network.
 	Fingerprint = core.Fingerprint
 )

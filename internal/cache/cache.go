@@ -1,0 +1,363 @@
+// Package cache is a content-addressed, two-tier result cache for pipeline
+// stage outputs. Keys identify a result by what produced it — the dataset
+// digest, a digest of the options that affect the stage, the stage name and
+// a stage codec version — so a hit is valid by construction and there is no
+// invalidation protocol: change anything that matters and the key changes.
+//
+// The two tiers are an in-process LRU of encoded payloads (shared between
+// every Cache opened on the same directory, so repeated runs in one process
+// skip the disk entirely) and an on-disk store of one self-describing binary
+// file per key:
+//
+//	<dir>/<stage>-v<version>-<dataset digest>-<options digest>.bin
+//	  magic "ELCA" · format version · key echo · payload · FNV-64a checksum
+//
+// Reads are paranoid — a missing file, bad magic, short payload, key
+// mismatch or checksum failure is reported as a miss, never an error, so a
+// corrupted cache silently degrades to recomputation. Writes go through a
+// temp file and an atomic rename, so concurrent writers of the same key
+// (identical content by construction) cannot tear each other's files.
+package cache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key names one cached stage result. All four fields participate in the
+// content address: Dataset is the dataset digest, Options a digest of every
+// option that changes the stage's output (never of options that provably do
+// not, like worker budgets), and Version the stage's codec/algorithm
+// version — bump it when the encoding or the computation changes.
+type Key struct {
+	Stage   string
+	Version int
+	Dataset uint64
+	Options uint64
+}
+
+// String renders the key in its canonical (and filesystem-safe) form.
+func (k Key) String() string {
+	return fmt.Sprintf("%s-v%d-%016x-%016x", k.Stage, k.Version, k.Dataset, k.Options)
+}
+
+// FNV-64a, the digest used for key derivation and payload checksums.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hasher accumulates a 64-bit content digest over typed values: FNV-64a
+// byte folds for raw bytes and strings, one SplitMix64-style avalanche per
+// 64-bit word (Word/Float64) so bulk numeric data hashes at word speed.
+// The zero value is not ready; use NewHasher.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a ready Hasher.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// Byte folds one byte into the digest.
+func (h *Hasher) Byte(b byte) {
+	h.h = (h.h ^ uint64(b)) * fnvPrime
+}
+
+// Word folds a 64-bit value into the digest with one SplitMix64-style
+// avalanche per word (three multiply/shift rounds) rather than eight
+// dependent byte folds — this is what keeps hashing a paper-scale CSR array
+// (79M edges) in the hundreds of milliseconds instead of seconds.
+func (h *Hasher) Word(v uint64) {
+	x := h.h ^ v
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	h.h = x ^ (x >> 31)
+}
+
+// Float64 folds the raw IEEE-754 bits into the digest.
+func (h *Hasher) Float64(v float64) { h.Word(math.Float64bits(v)) }
+
+// String folds a length-prefixed string into the digest (length-prefixing
+// keeps "ab"+"c" distinct from "a"+"bc").
+func (h *Hasher) String(s string) {
+	h.Word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Bytes folds a length-prefixed byte slice into the digest.
+func (h *Hasher) Bytes(b []byte) {
+	h.Word(uint64(len(b)))
+	for _, c := range b {
+		h.Byte(c)
+	}
+}
+
+// Sum returns the digest of everything folded so far.
+func (h *Hasher) Sum() uint64 { return h.h }
+
+// HashWords digests a sequence of 64-bit words — the convenience form for
+// option digests.
+func HashWords(words ...uint64) uint64 {
+	h := NewHasher()
+	for _, w := range words {
+		h.Word(w)
+	}
+	return h.Sum()
+}
+
+// checksum is the payload FNV-64a used by the disk format (raw bytes, no
+// length prefix — the payload length is framed separately).
+func checksum(data []byte) uint64 {
+	h := NewHasher()
+	for _, b := range data {
+		h.Byte(b)
+	}
+	return h.Sum()
+}
+
+// Stats counts cache traffic since the process started.
+type Stats struct {
+	Hits       uint64 // memory or disk hits
+	Misses     uint64
+	MemEntries int
+	MemBytes   int64
+}
+
+// DefaultMemBytes caps the in-memory tier per cache instance.
+const DefaultMemBytes = 256 << 20
+
+// Cache is one two-tier result cache. Obtain instances with New; all
+// methods are safe for concurrent use.
+type Cache struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[string]*list.Element
+	lru      *list.List // front = most recent; values are *entry
+	memBytes int64
+	maxBytes int64
+	hits     uint64
+	misses   uint64
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// registry shares one instance per directory so the memory tier survives
+// across Characterizer runs within a process.
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Cache{}
+)
+
+// New returns the cache rooted at dir, creating the directory lazily on the
+// first Put. Calls with the same directory share one instance (and thus one
+// memory tier); dir must be non-empty.
+func New(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c, ok := registry[abs]; ok {
+		return c, nil
+	}
+	c := &Cache{
+		dir:      abs,
+		mem:      map[string]*list.Element{},
+		lru:      list.New(),
+		maxBytes: DefaultMemBytes,
+	}
+	registry[abs] = c
+	return c, nil
+}
+
+// Release drops the instance registered for dir: its memory tier is freed
+// and the next New(dir) starts cold (the disk tier is untouched). Callers
+// that open caches on many short-lived directories — benchmarks, batch
+// drivers — use this to keep the per-directory registry from pinning every
+// instance's LRU for the process lifetime. Releasing a directory that was
+// never opened is a no-op.
+func Release(dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	regMu.Lock()
+	c, ok := registry[abs]
+	delete(registry, abs)
+	regMu.Unlock()
+	if ok {
+		c.DropMemory()
+	}
+}
+
+// Dir returns the cache's on-disk root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Get returns the payload stored under key, consulting the memory tier
+// first, then disk (promoting disk hits into memory). The returned slice
+// must not be modified. ok is false on any miss, including a corrupted or
+// truncated disk entry.
+func (c *Cache) Get(key string) (data []byte, ok bool) {
+	c.mu.Lock()
+	if el, hit := c.mem[key]; hit {
+		c.lru.MoveToFront(el)
+		c.hits++
+		data = el.Value.(*entry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+
+	data, ok = c.readFile(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.insert(key, data)
+	return data, true
+}
+
+// Put stores payload under key in both tiers. Failures to persist (read-only
+// filesystem, full disk) are deliberately swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func (c *Cache) Put(key string, data []byte) {
+	c.mu.Lock()
+	c.insert(key, data)
+	c.mu.Unlock()
+	c.writeFile(key, data)
+}
+
+// insert adds or refreshes a memory entry and evicts LRU entries over the
+// byte cap. Callers hold mu.
+func (c *Cache) insert(key string, data []byte) {
+	if el, ok := c.mem[key]; ok {
+		c.memBytes += int64(len(data)) - int64(len(el.Value.(*entry).data))
+		el.Value.(*entry).data = data
+		c.lru.MoveToFront(el)
+	} else {
+		c.mem[key] = c.lru.PushFront(&entry{key: key, data: data})
+		c.memBytes += int64(len(data))
+	}
+	for c.memBytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.mem, e.key)
+		c.memBytes -= int64(len(e.data))
+	}
+}
+
+// DropMemory empties the in-memory tier (the disk tier is untouched). Used
+// under memory pressure and by tests that need to exercise the disk path of
+// a shared instance.
+func (c *Cache) DropMemory() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem = map[string]*list.Element{}
+	c.lru.Init()
+	c.memBytes = 0
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, MemEntries: c.lru.Len(), MemBytes: c.memBytes}
+}
+
+// --- disk tier ---------------------------------------------------------------
+
+const diskMagic = "ELCA"
+
+const diskVersion = 1
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".bin")
+}
+
+// readFile loads and validates one disk entry; every failure mode is a miss.
+func (c *Cache) readFile(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	if len(raw) < len(diskMagic) || string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	rest := raw[len(diskMagic):]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 || version != diskVersion {
+		return nil, false
+	}
+	rest = rest[n:]
+	echo, rest, ok := readLenPrefixed(rest)
+	if !ok || string(echo) != key {
+		return nil, false
+	}
+	payload, rest, ok := readLenPrefixed(rest)
+	if !ok || len(rest) != 8 {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint64(rest) != checksum(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+func readLenPrefixed(b []byte) (field, rest []byte, ok bool) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, nil, false
+	}
+	return b[n : n+int(l)], b[n+int(l):], true
+}
+
+// writeFile persists one entry atomically: temp file in the same directory,
+// then rename over the final name. Errors are swallowed (see Put).
+func (c *Cache) writeFile(key string, payload []byte) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	var buf []byte
+	buf = append(buf, diskMagic...)
+	buf = binary.AppendUvarint(buf, diskVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint64(buf, checksum(payload))
+
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}

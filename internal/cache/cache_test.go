@@ -1,0 +1,326 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// newTestCache opens the (shared, per-directory) instance for dir; tests
+// use unique t.TempDir() roots, so each starts with a cold memory tier, and
+// exercise the disk tier via readFile or cache.Release.
+func newTestCache(dir string) *Cache {
+	c, err := New(dir)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Stage: "distances", Version: 2, Dataset: 0xdead, Options: 0xbeef}
+	want := "distances-v2-000000000000dead-000000000000beef"
+	if got := k.String(); got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+}
+
+func TestRoundTripMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(dir)
+	key := Key{Stage: "s", Version: 1, Dataset: 1, Options: 2}.String()
+	payload := []byte("hello cached world")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(key, payload)
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("memory Get = %q, %v", got, ok)
+	}
+}
+
+func TestNewSharesInstancePerDir(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestCache(dir)
+	b := newTestCache(dir)
+	if a != b {
+		t.Fatal("New returned distinct instances for one directory")
+	}
+	if _, err := New(""); err == nil {
+		t.Fatal("New(\"\") should fail")
+	}
+}
+
+func TestDiskSurvivesColdMemory(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(dir)
+	key := Key{Stage: "deg", Version: 1, Dataset: 42, Options: 7}.String()
+	payload := []byte{1, 2, 3, 4, 5}
+	c.Put(key, payload)
+
+	got, ok := c.readFile(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("readFile = %v, %v; want payload back", got, ok)
+	}
+}
+
+func TestCorruptedEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(dir)
+	key := Key{Stage: "x", Version: 1, Dataset: 3, Options: 4}.String()
+	c.Put(key, []byte("payload-bytes-here"))
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return raw[:len(raw)/2] },
+		"bad magic": func() []byte {
+			b := append([]byte(nil), raw...)
+			b[0] ^= 0xff
+			return b
+		},
+		"flipped payload bit": func() []byte {
+			b := append([]byte(nil), raw...)
+			b[len(b)-12] ^= 0x01 // inside payload, before the checksum
+			return b
+		},
+		"empty file": func() []byte { return nil },
+	}
+	for name, mk := range corruptions {
+		if err := os.WriteFile(path, mk(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.readFile(key); ok {
+			t.Errorf("%s: corrupted entry served as a hit", name)
+		}
+	}
+
+	// A wrong key echo (file moved under another name) must also miss.
+	other := Key{Stage: "y", Version: 1, Dataset: 3, Options: 4}.String()
+	if err := os.WriteFile(c.path(other), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.readFile(other); ok {
+		t.Error("entry with mismatched key echo served as a hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(dir)
+	c.maxBytes = 64 // tiny cap to force eviction
+	big := bytes.Repeat([]byte{7}, 30)
+	c.Put("a", big)
+	c.Put("b", big)
+	c.Get("a") // refresh a
+	c.Put("c", big)
+	c.mu.Lock()
+	_, aIn := c.mem["a"]
+	_, bIn := c.mem["b"]
+	_, cIn := c.mem["c"]
+	c.mu.Unlock()
+	if !aIn || bIn || !cIn {
+		t.Fatalf("LRU state a=%v b=%v c=%v, want a and c resident, b evicted", aIn, bIn, cIn)
+	}
+	// The evicted entry is still a hit via disk.
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("evicted entry lost from disk tier")
+	}
+}
+
+func TestConcurrentSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(dir)
+	key := Key{Stage: "conc", Version: 1, Dataset: 9, Options: 9}.String()
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				c.Put(key, payload)
+				if got, ok := c.Get(key); ok && !bytes.Equal(got, payload) {
+					t.Error("torn read")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("payload lost after concurrent writes")
+	}
+	if _, err := os.Stat(c.path(key)); err != nil {
+		t.Fatalf("disk entry missing: %v", err)
+	}
+	// No stray temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files: %v", matches)
+	}
+}
+
+func TestPutOnUnwritableDirIsSilent(t *testing.T) {
+	c := newTestCache(filepath.Join(t.TempDir(), "sub"))
+	// Make the parent read-only so MkdirAll fails.
+	if err := os.Chmod(filepath.Dir(c.dir), 0o555); err != nil {
+		t.Skip("cannot chmod")
+	}
+	defer os.Chmod(filepath.Dir(c.dir), 0o755)
+	c.Put("k", []byte("v")) // must not panic or error
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("memory tier should still serve the entry")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := newTestCache(t.TempDir())
+	c.Get("missing")
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.MemEntries != 1 || s.MemBytes != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestHasher(t *testing.T) {
+	if HashWords(1, 2) == HashWords(2, 1) {
+		t.Fatal("word order should matter")
+	}
+	h1 := NewHasher()
+	h1.String("ab")
+	h1.String("c")
+	h2 := NewHasher()
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("length prefixing should separate string boundaries")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Uvarint(300)
+	e.Varint(-7)
+	e.Int(123456)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(math.Pi)
+	e.Float64(math.NaN())
+	e.String("héllo")
+	e.Float64s([]float64{1.5, -2.5, math.Inf(1)})
+	e.Float64s(nil)
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uvarint(); v != 300 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -7 {
+		t.Fatalf("Varint = %d", v)
+	}
+	if v := d.Int(); v != 123456 {
+		t.Fatalf("Int = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if v := d.Float64(); v != math.Pi {
+		t.Fatalf("Float64 = %v", v)
+	}
+	if v := d.Float64(); !math.IsNaN(v) {
+		t.Fatalf("NaN lost: %v", v)
+	}
+	if s := d.String(); s != "héllo" {
+		t.Fatalf("String = %q", s)
+	}
+	xs := d.Float64s()
+	if len(xs) != 3 || xs[0] != 1.5 || xs[1] != -2.5 || !math.IsInf(xs[2], 1) {
+		t.Fatalf("Float64s = %v", xs)
+	}
+	if xs := d.Float64s(); xs != nil {
+		t.Fatalf("empty Float64s = %v", xs)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderStickyErrors(t *testing.T) {
+	// Truncations at every prefix of a valid payload must all surface as
+	// ErrCorrupt (or decode cleanly for the full length), never panic.
+	var e Encoder
+	e.Uvarint(1 << 40)
+	e.Float64(2.5)
+	e.String("abcdef")
+	e.Float64s([]float64{1, 2, 3})
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uvarint()
+		d.Float64()
+		_ = d.String()
+		d.Float64s()
+		if err := d.Finish(); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(full))
+		}
+	}
+	// A length prefix far beyond the buffer must fail, not allocate.
+	var e2 Encoder
+	e2.Uvarint(1 << 60) // claims 2^60 floats follow
+	d := NewDecoder(e2.Bytes())
+	if xs := d.Float64s(); xs != nil || d.Err() == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	// Trailing garbage is corruption.
+	d2 := NewDecoder(append(full, 0x00))
+	d2.Uvarint()
+	d2.Float64()
+	_ = d2.String()
+	d2.Float64s()
+	if err := d2.Finish(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestGetMissesOnAbsentDir(t *testing.T) {
+	c := newTestCache(filepath.Join(t.TempDir(), "never-created"))
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatal("hit on nonexistent directory")
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestCache(dir)
+	a.Put("k", []byte("v"))
+	Release(dir)
+	b := newTestCache(dir)
+	if a == b {
+		t.Fatal("Release did not evict the registry entry")
+	}
+	// The fresh instance starts with a cold memory tier but still serves
+	// the entry from disk.
+	b.mu.Lock()
+	resident := len(b.mem)
+	b.mu.Unlock()
+	if resident != 0 {
+		t.Fatalf("fresh instance has %d resident entries", resident)
+	}
+	if got, ok := b.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("disk entry lost across Release: %q %v", got, ok)
+	}
+	Release(filepath.Join(dir, "never-opened")) // no-op must not panic
+}

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrCorrupt is the sticky error a Decoder reports for any malformed input.
+var ErrCorrupt = errors.New("cache: corrupt payload")
+
+// Encoder builds a stage payload in the library's store-style binary idiom:
+// varint integers, raw little-endian float bits, length-prefixed strings and
+// slices. It never fails; retrieve the bytes with Bytes.
+type Encoder struct{ buf []byte }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends a signed integer.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends the raw IEEE-754 bits (bit-exact round trip, NaN included).
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Float64s appends a length-prefixed float slice.
+func (e *Encoder) Float64s(xs []float64) {
+	e.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.Float64(x)
+	}
+}
+
+// Decoder reads what an Encoder wrote. Errors are sticky: after the first
+// malformed read every accessor returns a zero value and Err reports
+// ErrCorrupt, so callers can decode a whole payload and check once at the
+// end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps an encoded payload.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err reports whether any read so far was malformed, or — after Finish —
+// whether trailing bytes remained.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish flags trailing garbage as corruption and returns the final error.
+func (d *Decoder) Finish() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.err = ErrCorrupt
+	}
+	return d.err
+}
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a signed integer.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail()
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b != 0
+}
+
+// Float64 reads raw IEEE-754 bits.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	l := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.off) < l {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(l)])
+	d.off += int(l)
+	return s
+}
+
+// Float64s reads a length-prefixed float slice (nil for length zero).
+func (d *Decoder) Float64s() []float64 {
+	l := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.off)/8 < l {
+		d.fail()
+		return nil
+	}
+	if l == 0 {
+		return nil
+	}
+	out := make([]float64, l)
+	for i := range out {
+		out[i] = d.Float64()
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"elites/internal/cache"
+	"elites/internal/gen"
+	"elites/internal/twitter"
+)
+
+// cacheOptions keeps the heavy stages cheap but real (bootstraps,
+// betweenness and distances all run) so hit/miss behaviour is exercised on
+// every cached stage.
+func cacheOptions(dir string) Options {
+	o := fastOptions()
+	o.CacheDir = dir
+	return o
+}
+
+func renderString(t *testing.T, rep *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return buf.String()
+}
+
+// cachedStageNames is what a full run should report as cache traffic.
+var cachedStageNames = []string{StageDegree, StageEigen, StageDistances, StageCentrality}
+
+func TestWarmRunByteIdenticalAndSkipsHeavyStages(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+
+	cold, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache == nil {
+		t.Fatal("cache report missing on cold run")
+	}
+	if len(cold.Cache.Hits) != 0 || !reflect.DeepEqual(cold.Cache.Misses, cachedStageNames) {
+		t.Fatalf("cold run cache traffic: hits=%v misses=%v", cold.Cache.Hits, cold.Cache.Misses)
+	}
+
+	warm, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Cache.Hits, cachedStageNames) || len(warm.Cache.Misses) != 0 {
+		t.Fatalf("warm run cache traffic: hits=%v misses=%v", warm.Cache.Hits, warm.Cache.Misses)
+	}
+	if coldOut, warmOut := renderString(t, cold), renderString(t, warm); coldOut != warmOut {
+		t.Fatal("warm-cache report is not byte-identical to the cold run")
+	}
+	// The hydrated analyses must be structurally identical too, not just
+	// identically rendered.
+	if !reflect.DeepEqual(cold.Distances, warm.Distances) {
+		t.Fatal("distances diverge after cache round trip")
+	}
+	if !reflect.DeepEqual(cold.Centrality, warm.Centrality) {
+		t.Fatal("centrality diverges after cache round trip")
+	}
+	if !reflect.DeepEqual(cold.DegreeSeries, warm.DegreeSeries) {
+		t.Fatal("degree series diverges after cache round trip")
+	}
+	if cold.Degree.GoFP != warm.Degree.GoFP || cold.Degree.Fit.Alpha != warm.Degree.Fit.Alpha {
+		t.Fatal("degree analysis diverges after cache round trip")
+	}
+}
+
+func TestCacheTimingsMarkHits(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+	opts := cacheOptions(dir)
+	opts.Timings = true
+
+	if _, err := NewCharacterizer(opts).Run(ds, activity); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]bool{}
+	for _, tm := range warm.Timings {
+		if tm.CacheHit {
+			hits[tm.Name] = true
+		}
+	}
+	for _, name := range cachedStageNames {
+		if !hits[name] {
+			t.Errorf("stage %s not marked as a cache hit in timings", name)
+		}
+	}
+	if hits[StageSummary] || hits[StageBasic] {
+		t.Error("uncached stage marked as hit")
+	}
+}
+
+func TestChangedOptionsMiss(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+
+	if _, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each perturbation must miss exactly the stages whose output it can
+	// change, and still hit the others.
+	cases := []struct {
+		name       string
+		mutate     func(o *Options)
+		wantMisses []string
+	}{
+		{"seed", func(o *Options) { o.Seed = 4 }, cachedStageNames},
+		{"distance sources", func(o *Options) { o.DistanceSources = 61 }, []string{StageDistances}},
+		{"betweenness sources", func(o *Options) { o.BetweennessSources = 41 }, []string{StageCentrality}},
+		{"bootstrap reps", func(o *Options) { o.BootstrapReps = 21 }, []string{StageDegree, StageEigen}},
+		{"eigen k", func(o *Options) { o.EigenK = 41 }, []string{StageEigen}},
+		{"skip bootstrap", func(o *Options) { o.SkipBootstrap = true }, []string{StageDegree, StageEigen}},
+		{"parallelism (never keyed)", func(o *Options) { o.Parallelism = 3 }, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := cacheOptions(dir)
+			tc.mutate(&opts)
+			rep, err := NewCharacterizer(opts).Run(ds, activity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var misses []string
+			if rep.Cache != nil {
+				misses = rep.Cache.Misses
+			}
+			if !reflect.DeepEqual(misses, tc.wantMisses) {
+				t.Fatalf("misses = %v, want %v (hits %v)", misses, tc.wantMisses, rep.Cache.Hits)
+			}
+		})
+	}
+}
+
+func TestChangedDatasetMisses(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(n int) *twitter.Dataset {
+		res, err := gen.Verified(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &twitter.Dataset{Graph: res.Graph}
+	}
+	opts := cacheOptions(dir)
+	opts.SkipEigen = true
+	if _, err := NewCharacterizer(opts).Run(mk(500), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewCharacterizer(opts).Run(mk(501), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cache.Hits) != 0 {
+		t.Fatalf("different dataset produced cache hits: %v", rep.Cache.Hits)
+	}
+	// Same dataset again: hits.
+	rep2, err := NewCharacterizer(opts).Run(mk(500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Cache.Misses) != 0 {
+		t.Fatalf("identical regenerated dataset missed: %v", rep2.Cache.Misses)
+	}
+}
+
+func TestCorruptedCacheFilesRecomputeSilently(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+
+	cold, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instances are shared per directory, so drop the memory tier to force
+	// the next run through the (about to be corrupted) disk entries — as a
+	// fresh process would read them.
+	dropMemoryTier(t, dir)
+	entries, err := filepath.Glob(filepath.Join(dir, "*.bin"))
+	if err != nil || len(entries) != len(cachedStageNames) {
+		t.Fatalf("cache dir entries = %v (err %v)", entries, err)
+	}
+	for i, path := range entries {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0: // truncate
+			raw = raw[:len(raw)/3]
+		case 1: // flip a payload byte
+			raw[len(raw)/2] ^= 0x40
+		case 2: // empty
+			raw = nil
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatalf("corrupted cache must recompute, not error: %v", err)
+	}
+	if len(rep.Cache.Hits) != 0 {
+		t.Fatalf("corrupted entries served as hits: %v", rep.Cache.Hits)
+	}
+	if got, want := renderString(t, rep), renderString(t, cold); got != want {
+		t.Fatal("recomputed report diverges from cold run")
+	}
+	// And the rewritten entries serve the next run.
+	rep2, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Cache.Misses) != 0 {
+		t.Fatalf("repaired cache still missing: %v", rep2.Cache.Misses)
+	}
+}
+
+// dropMemoryTier empties the shared in-memory tier for dir, simulating a
+// fresh process that only has the disk tier.
+func dropMemoryTier(t *testing.T, dir string) {
+	t.Helper()
+	cc, err := cache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.DropMemory()
+}
+
+func TestNoCacheAndNoDir(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+
+	// No CacheDir: no cache report, no files.
+	rep, err := NewCharacterizer(fastOptions()).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache != nil {
+		t.Fatal("cache report without CacheDir")
+	}
+
+	// NoCache overrides CacheDir.
+	dir := t.TempDir()
+	opts := cacheOptions(dir)
+	opts.NoCache = true
+	rep, err = NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache != nil {
+		t.Fatal("cache report despite NoCache")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("NoCache wrote files: %v", entries)
+	}
+}
+
+func TestCacheWithStageSubset(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+
+	opts := cacheOptions(dir)
+	opts.Stages = []string{StageDistances}
+	cold, err := NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Cache.Misses, []string{StageDistances}) || len(cold.Cache.Hits) != 0 {
+		t.Fatalf("subset cold traffic: %+v", cold.Cache)
+	}
+	warm, err := NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Cache.Hits, []string{StageDistances}) || len(warm.Cache.Misses) != 0 {
+		t.Fatalf("subset warm traffic: %+v", warm.Cache)
+	}
+	// The full run then hits distances but misses the others.
+	full, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(full.Cache.Hits, StageDistances) {
+		t.Fatalf("full run should reuse the subset's distances: %+v", full.Cache)
+	}
+	if !contains(full.Cache.Misses, StageCentrality) {
+		t.Fatalf("full run should still compute centrality: %+v", full.Cache)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCacheKeysAreStageScoped(t *testing.T) {
+	// All four cached stages on one dataset produce four distinct files —
+	// no key collisions between stages sharing a dataset digest.
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	dir := t.TempDir()
+	if _, err := NewCharacterizer(cacheOptions(dir)).Run(ds, activity); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "*.bin"))
+	seen := map[string]bool{}
+	for _, e := range entries {
+		base := filepath.Base(e)
+		stage := base[:strings.IndexByte(base, '-')]
+		if seen[stage] {
+			t.Fatalf("two files for stage %s", stage)
+		}
+		seen[stage] = true
+	}
+	for _, name := range cachedStageNames {
+		if !seen[name] {
+			t.Errorf("no cache file for stage %s (have %v)", name, entries)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"elites/internal/cache"
+	"elites/internal/graph"
+	"elites/internal/powerlaw"
+	"elites/internal/stats"
+)
+
+// Binary codecs for the cached pipeline stages (store-style: varints, raw
+// float bits, length prefixes). Each cached stage owns one codec version
+// constant — bump it whenever the encoding *or the stage's computation*
+// changes, so stale entries from older builds become unreachable instead of
+// wrong. Decoders inherit the cache.Decoder sticky-error discipline: any
+// malformed payload surfaces as one error, which the scheduler treats as a
+// miss and recomputes.
+const (
+	distancesCodecVersion  = 1
+	degreeCodecVersion     = 1
+	eigenCodecVersion      = 1
+	centralityCodecVersion = 1
+)
+
+// --- distances ---------------------------------------------------------------
+
+func encodeDistancesTo(e *cache.Encoder, dd *graph.DistanceDistribution) {
+	e.Bool(dd != nil)
+	if dd == nil {
+		return
+	}
+	e.Float64s(dd.Counts)
+	e.Float64(dd.Pairs)
+	e.Int(dd.Sources)
+	e.Bool(dd.Sampled)
+}
+
+func decodeDistancesFrom(d *cache.Decoder) (*graph.DistanceDistribution, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	dd := &graph.DistanceDistribution{
+		Counts:  d.Float64s(),
+		Pairs:   d.Float64(),
+		Sources: d.Int(),
+		Sampled: d.Bool(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return dd, nil
+}
+
+// --- power-law analyses (degree, eigen) --------------------------------------
+
+func encodePowerLawTo(e *cache.Encoder, pa *PowerLawAnalysis) {
+	e.Bool(pa != nil)
+	if pa == nil {
+		return
+	}
+	pa.Fit.EncodeTo(e)
+	e.Float64(pa.GoFP)
+	e.Uvarint(uint64(len(pa.Vuong)))
+	for _, v := range pa.Vuong {
+		v.EncodeTo(e)
+	}
+}
+
+func decodePowerLawFrom(d *cache.Decoder) (*PowerLawAnalysis, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	fit, err := powerlaw.DecodeFitFrom(d)
+	if err != nil {
+		return nil, err
+	}
+	pa := &PowerLawAnalysis{Fit: fit, GoFP: d.Float64()}
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > 16 { // far above the three fixed alternatives; reject corruption
+		return nil, cache.ErrCorrupt
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := powerlaw.DecodeVuongFrom(d)
+		if err != nil {
+			return nil, err
+		}
+		pa.Vuong = append(pa.Vuong, v)
+	}
+	return pa, nil
+}
+
+// encodeDegreeTo covers everything the degree stage writes: the Figure 2
+// frequency series and the §IV-B analysis.
+func encodeDegreeTo(e *cache.Encoder, series []stats.CCDFPoint, pa *PowerLawAnalysis) {
+	e.Uvarint(uint64(len(series)))
+	for _, p := range series {
+		e.Float64(p.X)
+		e.Float64(p.P)
+	}
+	encodePowerLawTo(e, pa)
+}
+
+func decodeDegreeFrom(d *cache.Decoder) ([]stats.CCDFPoint, *PowerLawAnalysis, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, nil, d.Err()
+	}
+	var series []stats.CCDFPoint
+	for i := uint64(0); i < n; i++ {
+		p := stats.CCDFPoint{X: d.Float64(), P: d.Float64()}
+		if d.Err() != nil {
+			return nil, nil, d.Err()
+		}
+		series = append(series, p)
+	}
+	pa, err := decodePowerLawFrom(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, pa, nil
+}
+
+// --- centrality --------------------------------------------------------------
+
+func encodeCentralityTo(e *cache.Encoder, pairs []CentralityPair) {
+	e.Uvarint(uint64(len(pairs)))
+	for i := range pairs {
+		p := &pairs[i]
+		e.String(p.Label)
+		e.Float64(p.Pearson)
+		e.Float64(p.Spearman)
+		e.Float64(p.PValue)
+		e.Int(p.N)
+		e.Uvarint(uint64(len(p.Curve)))
+		for _, cp := range p.Curve {
+			e.Float64(cp.X)
+			e.Float64(cp.Y)
+			e.Float64(cp.Lo)
+			e.Float64(cp.Hi)
+		}
+	}
+}
+
+func decodeCentralityFrom(d *cache.Decoder) ([]CentralityPair, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > 64 { // six panels today; reject implausible counts as corruption
+		return nil, cache.ErrCorrupt
+	}
+	var pairs []CentralityPair
+	for i := uint64(0); i < n; i++ {
+		p := CentralityPair{
+			Label:    d.String(),
+			Pearson:  d.Float64(),
+			Spearman: d.Float64(),
+			PValue:   d.Float64(),
+			N:        d.Int(),
+		}
+		m := d.Uvarint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		for j := uint64(0); j < m; j++ {
+			p.Curve = append(p.Curve, stats.CurvePoint{
+				X: d.Float64(), Y: d.Float64(), Lo: d.Float64(), Hi: d.Float64(),
+			})
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}

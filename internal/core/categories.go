@@ -100,8 +100,14 @@ func AnalyzeCategories(ds *twitter.Dataset) (*CategoryAnalysis, error) {
 		}
 		out.Stats = append(out.Stats, cs)
 	}
+	// Stats are collected in map order; break count ties by category id so
+	// the table is a pure function of the dataset (the determinism contract
+	// extends to rendered bytes — warm cache runs and CI byte-compare them).
 	sort.Slice(out.Stats, func(i, j int) bool {
-		return out.Stats[i].Count > out.Stats[j].Count
+		if out.Stats[i].Count != out.Stats[j].Count {
+			return out.Stats[i].Count > out.Stats[j].Count
+		}
+		return out.Stats[i].Category < out.Stats[j].Category
 	})
 	return out, nil
 }

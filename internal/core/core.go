@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"elites/internal/cache"
 	"elites/internal/centrality"
 	"elites/internal/graph"
 	"elites/internal/mathx"
@@ -23,6 +24,7 @@ import (
 	"elites/internal/powerlaw"
 	"elites/internal/spectral"
 	"elites/internal/stats"
+	"elites/internal/store"
 	"elites/internal/text"
 	"elites/internal/timeseries"
 	"elites/internal/twitter"
@@ -77,6 +79,20 @@ type Options struct {
 	// Timings records per-stage wall clock into Report.Timings. Timings
 	// are not rendered, so timed reports stay byte-comparable.
 	Timings bool
+	// CacheDir, when non-empty, enables the two-tier per-stage result
+	// cache rooted at that directory (in-process LRU over an on-disk
+	// store; see internal/cache). The expensive stages — distances,
+	// degree, eigen, centrality — are keyed on (dataset digest, options
+	// digest, stage, codec version), so a warm re-run hydrates their
+	// outputs instead of recomputing betweenness, the bootstraps and the
+	// BFS sweeps. Cached and fresh runs render byte-identically; cache
+	// traffic is reported in Report.Cache. Parallelism and Timings never
+	// enter cache keys (they cannot change results — the determinism
+	// contract), so a report cached at one worker budget serves every
+	// other.
+	CacheDir string
+	// NoCache disables the result cache even when CacheDir is set.
+	NoCache bool
 }
 
 // Pipeline stage names, in canonical (paper) order.
@@ -109,9 +125,23 @@ func StageNames() []string {
 }
 
 // StageTiming is one executed pipeline stage's measured wall clock.
+// CacheHit marks stages hydrated from the result cache instead of computed.
 type StageTiming struct {
 	Name     string
 	Duration time.Duration
+	CacheHit bool
+}
+
+// CacheReport summarizes result-cache traffic for one Run (only stages that
+// participate in caching appear). Render ignores it, so cached and fresh
+// reports stay byte-comparable.
+type CacheReport struct {
+	// Dir is the cache root.
+	Dir string
+	// Hits lists cached stages hydrated without running, in declaration
+	// order; Misses lists cached stages that ran and stored their result.
+	Hits   []string
+	Misses []string
 }
 
 func (o Options) withDefaults() Options {
@@ -223,6 +253,9 @@ type Report struct {
 	// Timings holds per-stage wall clocks when Options.Timings is set.
 	// Render ignores it, keeping rendered reports comparable across runs.
 	Timings []StageTiming
+	// Cache summarizes result-cache hits and misses when Options.CacheDir
+	// enabled the cache. Render ignores it.
+	Cache *CacheReport
 }
 
 // Characterizer runs the pipeline.
@@ -250,6 +283,42 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 	base := mathx.NewRNG(c.opts.Seed)
 	rep := &Report{}
 
+	// Result cache: content-address the dataset once, then give each
+	// expensive stage a key over exactly the options that shape its
+	// output. withCache is the identity when the cache is off, so the
+	// stage graph below reads the same either way.
+	var rcache *cache.Cache
+	var dsDigest uint64
+	if c.opts.CacheDir != "" && !c.opts.NoCache {
+		if cc, err := cache.New(c.opts.CacheDir); err == nil {
+			rcache = cc
+			dsDigest = store.DatasetDigest(ds, activity)
+		}
+	}
+	withCache := func(st pipeline.Stage, version int, optsDigest uint64,
+		enc func(e *cache.Encoder), dec func(d *cache.Decoder) error) pipeline.Stage {
+		if rcache == nil {
+			return st
+		}
+		st.CacheKey = cache.Key{
+			Stage: st.Name, Version: version,
+			Dataset: dsDigest, Options: optsDigest,
+		}.String()
+		st.Encode = func() ([]byte, error) {
+			var e cache.Encoder
+			enc(&e)
+			return e.Bytes(), nil
+		}
+		st.Decode = func(data []byte) error {
+			d := cache.NewDecoder(data)
+			if err := dec(d); err != nil {
+				return err
+			}
+			return d.Finish()
+		}
+		return st
+	}
+
 	// Shared intermediate: the component decompositions feed the summary.
 	var scc *graph.SCCResult
 	var wcc *graph.WCCResult
@@ -268,26 +337,58 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 			c.basic(rep, g, scc)
 			return nil
 		}},
-		{Name: StageDegree, Run: func() error {
+		withCache(pipeline.Stage{Name: StageDegree, Run: func() error {
 			c.degreeAnalysis(rep, g, base.Derive(StageDegree))
 			return nil
-		}},
+		}}, degreeCodecVersion,
+			cache.HashWords(c.opts.Seed, uint64(c.opts.BootstrapReps), boolWord(c.opts.SkipBootstrap)),
+			func(e *cache.Encoder) { encodeDegreeTo(e, rep.DegreeSeries, rep.Degree) },
+			func(d *cache.Decoder) error {
+				series, pa, err := decodeDegreeFrom(d)
+				if err != nil {
+					return err
+				}
+				rep.DegreeSeries, rep.Degree = series, pa
+				return nil
+			}),
 	}
 	if !c.opts.SkipEigen {
-		stages = append(stages, pipeline.Stage{Name: StageEigen, Run: func() error {
+		stages = append(stages, withCache(pipeline.Stage{Name: StageEigen, Run: func() error {
 			c.eigenAnalysis(rep, g, base.Derive(StageEigen))
 			return nil
-		}})
+		}}, eigenCodecVersion,
+			cache.HashWords(c.opts.Seed, uint64(c.opts.EigenK), uint64(c.opts.EigenIters),
+				uint64(c.opts.BootstrapReps), boolWord(c.opts.SkipBootstrap)),
+			func(e *cache.Encoder) { encodePowerLawTo(e, rep.Eigen) },
+			func(d *cache.Decoder) error {
+				pa, err := decodePowerLawFrom(d)
+				if err != nil {
+					return err
+				}
+				rep.Eigen = pa
+				return nil
+			}))
 	}
 	stages = append(stages,
 		pipeline.Stage{Name: StageReciprocity, Run: func() error {
 			rep.Reciprocity = graph.Reciprocity(g)
 			return nil
 		}},
-		pipeline.Stage{Name: StageDistances, Run: func() error {
-			rep.Distances = graph.SampledDistances(g, c.opts.DistanceSources, base.Derive(StageDistances))
+		withCache(pipeline.Stage{Name: StageDistances, Run: func() error {
+			rep.Distances = graph.SampledDistancesWorkers(g, c.opts.DistanceSources,
+				base.Derive(StageDistances), c.opts.Parallelism)
 			return nil
-		}},
+		}}, distancesCodecVersion,
+			cache.HashWords(c.opts.Seed, uint64(c.opts.DistanceSources)),
+			func(e *cache.Encoder) { encodeDistancesTo(e, rep.Distances) },
+			func(d *cache.Decoder) error {
+				dd, err := decodeDistancesFrom(d)
+				if err != nil {
+					return err
+				}
+				rep.Distances = dd
+				return nil
+			}),
 	)
 	if len(ds.Profiles) > 0 {
 		stages = append(stages,
@@ -299,10 +400,20 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 				c.metricHistograms(rep, ds)
 				return nil
 			}},
-			pipeline.Stage{Name: StageCentrality, Run: func() error {
+			withCache(pipeline.Stage{Name: StageCentrality, Run: func() error {
 				c.centralityAnalysis(rep, ds, base.Derive(StageCentrality))
 				return nil
-			}},
+			}}, centralityCodecVersion,
+				cache.HashWords(c.opts.Seed, uint64(c.opts.BetweennessSources), boolWord(c.opts.SkipBetweenness)),
+				func(e *cache.Encoder) { encodeCentralityTo(e, rep.Centrality) },
+				func(d *cache.Decoder) error {
+					pairs, err := decodeCentralityFrom(d)
+					if err != nil {
+						return err
+					}
+					rep.Centrality = pairs
+					return nil
+				}),
 		)
 		if !c.opts.SkipCategories {
 			stages = append(stages, pipeline.Stage{Name: StageCategories, Run: func() error {
@@ -330,21 +441,49 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 	if err != nil {
 		return nil, err
 	}
-	timings, err := pipeline.Run(stages, pipeline.Options{
+	popts := pipeline.Options{
 		Parallelism: c.opts.Parallelism,
 		Only:        only,
-	})
+	}
+	if rcache != nil {
+		popts.Cache = rcache
+	}
+	timings, err := pipeline.Run(stages, popts)
 	if err != nil {
 		return nil, err
 	}
 	if c.opts.Timings {
 		for _, tm := range timings {
 			if !tm.Skipped {
-				rep.Timings = append(rep.Timings, StageTiming{Name: tm.Name, Duration: tm.Duration})
+				rep.Timings = append(rep.Timings, StageTiming{
+					Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
+				})
 			}
 		}
 	}
+	if rcache != nil {
+		cr := &CacheReport{Dir: rcache.Dir()}
+		for i, tm := range timings {
+			if stages[i].CacheKey == "" || tm.Skipped {
+				continue
+			}
+			if tm.CacheHit {
+				cr.Hits = append(cr.Hits, tm.Name)
+			} else {
+				cr.Misses = append(cr.Misses, tm.Name)
+			}
+		}
+		rep.Cache = cr
+	}
 	return rep, nil
+}
+
+// boolWord folds a flag into an options digest.
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // filterStageSelection validates a user stage selection against the full

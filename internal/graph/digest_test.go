@@ -1,0 +1,31 @@
+package graph
+
+import "testing"
+
+func TestDigestStableAndSensitive(t *testing.T) {
+	g1 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g2 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g1.Digest() != g2.Digest() {
+		t.Fatal("identical graphs digest differently")
+	}
+	// One extra edge changes the digest.
+	g3 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if g3.Digest() == g1.Digest() {
+		t.Fatal("added edge did not change digest")
+	}
+	// Same edges, different node count.
+	g4 := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g4.Digest() == g1.Digest() {
+		t.Fatal("extra isolated node did not change digest")
+	}
+	// Edge direction matters.
+	g5 := FromEdges(4, [][2]int{{1, 0}, {1, 2}, {2, 3}, {3, 0}})
+	if g5.Digest() == g1.Digest() {
+		t.Fatal("reversed edge did not change digest")
+	}
+	// Empty graphs digest consistently without panicking.
+	e1, e2 := FromEdges(0, nil), FromEdges(0, nil)
+	if e1.Digest() != e2.Digest() {
+		t.Fatal("empty graphs digest differently")
+	}
+}

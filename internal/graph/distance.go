@@ -2,10 +2,9 @@ package graph
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"elites/internal/mathx"
+	"elites/internal/parallel"
 )
 
 // DistanceDistribution is a histogram of finite pairwise shortest-path
@@ -85,13 +84,15 @@ func BFS(g *Digraph, src int) []int32 {
 	for i := range dist {
 		dist[i] = -1
 	}
-	bfsInto(g, src, dist, make([]int32, 0, 1024))
+	_ = bfsInto(g, src, dist, make([]int32, 0, 1024))
 	return dist
 }
 
 // bfsInto runs BFS reusing the provided queue; dist must be pre-filled with
-// -1 and is written in place.
-func bfsInto(g *Digraph, src int, dist []int32, queue []int32) {
+// -1 and is written in place. It returns the (possibly grown) queue so that
+// callers looping over many sources retain the grown capacity instead of
+// re-growing from the original backing array on every traversal.
+func bfsInto(g *Digraph, src int, dist []int32, queue []int32) []int32 {
 	dist[src] = 0
 	queue = append(queue[:0], int32(src))
 	for head := 0; head < len(queue); head++ {
@@ -104,18 +105,25 @@ func bfsInto(g *Digraph, src int, dist []int32, queue []int32) {
 			}
 		}
 	}
+	return queue
 }
 
 // ExactDistances runs a full all-pairs BFS (n BFS traversals, parallelized
-// across cores) and returns the exact distance distribution. Suitable up to
-// a few tens of thousands of nodes.
+// on the shared worker pool) and returns the exact distance distribution.
+// Suitable up to a few tens of thousands of nodes.
 func ExactDistances(g *Digraph) *DistanceDistribution {
+	return ExactDistancesWorkers(g, 0)
+}
+
+// ExactDistancesWorkers is ExactDistances with an explicit worker budget
+// (<= 0 means GOMAXPROCS); every budget yields identical counts.
+func ExactDistancesWorkers(g *Digraph, workers int) *DistanceDistribution {
 	n := g.NumNodes()
 	sources := make([]int, n)
 	for i := range sources {
 		sources[i] = i
 	}
-	dd := distancesFromSources(g, sources)
+	dd := distancesFromSources(g, sources, workers)
 	dd.Sampled = false
 	return dd
 }
@@ -126,13 +134,21 @@ func ExactDistances(g *Digraph) *DistanceDistribution {
 // Counts are comparable to exact runs. Kwak et al. used the same
 // source-sampling strategy for the full Twitter graph.
 func SampledDistances(g *Digraph, k int, rng *mathx.RNG) *DistanceDistribution {
+	return SampledDistancesWorkers(g, k, rng, 0)
+}
+
+// SampledDistancesWorkers is SampledDistances with an explicit worker budget
+// (<= 0 means GOMAXPROCS). The source sample depends only on rng, and the
+// sweep reduces fixed-layout integer partials in chunk order, so the
+// distribution is identical at every budget.
+func SampledDistancesWorkers(g *Digraph, k int, rng *mathx.RNG, workers int) *DistanceDistribution {
 	n := g.NumNodes()
 	if k >= n {
-		return ExactDistances(g)
+		return ExactDistancesWorkers(g, workers)
 	}
 	perm := rng.Perm(n)
 	sources := perm[:k]
-	dd := distancesFromSources(g, sources)
+	dd := distancesFromSources(g, sources, workers)
 	scale := float64(n) / float64(k)
 	for i := range dd.Counts {
 		dd.Counts[i] *= scale
@@ -142,57 +158,57 @@ func SampledDistances(g *Digraph, k int, rng *mathx.RNG) *DistanceDistribution {
 	return dd
 }
 
-func distancesFromSources(g *Digraph, sources []int) *DistanceDistribution {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type partial struct {
-		counts []int64
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			n := g.NumNodes()
-			dist := make([]int32, n)
-			queue := make([]int32, 0, n)
-			counts := make([]int64, 64)
-			for idx := w; idx < len(sources); idx += workers {
-				src := sources[idx]
-				for i := range dist {
-					dist[i] = -1
-				}
-				bfsInto(g, src, dist, queue)
-				for _, d := range dist {
-					if d > 0 {
-						if int(d) >= len(counts) {
-							grow := make([]int64, int(d)*2)
-							copy(grow, counts)
-							counts = grow
-						}
-						counts[d]++
+// maxDistancePartials bounds how many source chunks a distance sweep splits
+// into. Each in-flight chunk carries its own dist/queue scratch (O(n)), so
+// the bound also caps scratch memory; like betweenness, the chunk layout is
+// a function of the source count only — never of the worker budget — which
+// keeps the reduction order fixed.
+const maxDistancePartials = 64
+
+// distancesFromSources accumulates the hop-distance histogram over BFS runs
+// from the given sources, sharded through the shared worker pool
+// (parallel.ChunkReduce): fixed-layout source chunks, one int64 histogram
+// per chunk, folded in chunk order. Counts are integers, so the fold is
+// exact at any budget; the fixed order keeps it deterministic by
+// construction all the same.
+func distancesFromSources(g *Digraph, sources []int, workers int) *DistanceDistribution {
+	chunk := (len(sources) + maxDistancePartials - 1) / maxDistancePartials
+	parts := parallel.ChunkReduce(len(sources), chunk, workers, func(lo, hi int) []int64 {
+		n := g.NumNodes()
+		dist := make([]int32, n)
+		queue := make([]int32, 0, 1024)
+		counts := make([]int64, 64)
+		for idx := lo; idx < hi; idx++ {
+			src := sources[idx]
+			for i := range dist {
+				dist[i] = -1
+			}
+			queue = bfsInto(g, src, dist, queue)
+			for _, d := range dist {
+				if d > 0 {
+					if int(d) >= len(counts) {
+						grow := make([]int64, int(d)*2)
+						copy(grow, counts)
+						counts = grow
 					}
+					counts[d]++
 				}
 			}
-			parts[w] = partial{counts: counts}
-		}(w)
-	}
-	wg.Wait()
+		}
+		return counts
+	})
 	maxLen := 0
 	for _, p := range parts {
-		if len(p.counts) > maxLen {
-			maxLen = len(p.counts)
+		if len(p) > maxLen {
+			maxLen = len(p)
 		}
+	}
+	if maxLen == 0 {
+		maxLen = 1
 	}
 	out := &DistanceDistribution{Counts: make([]float64, maxLen), Sources: len(sources)}
 	for _, p := range parts {
-		for d, c := range p.counts {
+		for d, c := range p {
 			out.Counts[d] += float64(c)
 			out.Pairs += float64(c)
 		}

@@ -150,3 +150,72 @@ func TestMeanMatchesBruteForce(t *testing.T) {
 		t.Fatalf("pairs %v vs brute %v", dd.Pairs, cnt)
 	}
 }
+
+// TestDistanceWorkerInvariance pins the determinism contract for the
+// ChunkReduce-sharded distance sweep: sampled and exact distributions are
+// identical at worker budgets 1, 4 and 7 (including budgets exceeding the
+// source count), matching the centrality and powerlaw invariance tests.
+func TestDistanceWorkerInvariance(t *testing.T) {
+	g := ringWithChords(400)
+	ref := SampledDistancesWorkers(g, 50, mathx.NewRNG(99), 1)
+	for _, workers := range []int{4, 7} {
+		got := SampledDistancesWorkers(g, 50, mathx.NewRNG(99), workers)
+		assertSameDistribution(t, ref, got, workers)
+	}
+	// Exact sweeps too, including workers > sources on a tiny graph.
+	small := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	refX := ExactDistancesWorkers(small, 1)
+	for _, workers := range []int{4, 7} {
+		gotX := ExactDistancesWorkers(small, workers)
+		assertSameDistribution(t, refX, gotX, workers)
+	}
+}
+
+func assertSameDistribution(t *testing.T, ref, got *DistanceDistribution, workers int) {
+	t.Helper()
+	if len(got.Counts) != len(ref.Counts) || got.Pairs != ref.Pairs ||
+		got.Sources != ref.Sources || got.Sampled != ref.Sampled {
+		t.Fatalf("workers=%d: shape diverges: %+v vs %+v", workers, got, ref)
+	}
+	for d := range ref.Counts {
+		if got.Counts[d] != ref.Counts[d] {
+			t.Fatalf("workers=%d: Counts[%d] = %v, want %v", workers, d, got.Counts[d], ref.Counts[d])
+		}
+	}
+}
+
+// ringWithChords builds a connected digraph with varied distances: a
+// directed ring plus forward chords every 7 nodes.
+func ringWithChords(n int) *Digraph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		if i%7 == 0 {
+			b.AddEdge(i, (i+n/3)%n)
+		}
+	}
+	return b.Build()
+}
+
+// TestBFSQueueCapacityRetained pins the bfsInto contract: the returned queue
+// must carry forward capacity grown during the traversal.
+func TestBFSQueueCapacityRetained(t *testing.T) {
+	g := ringWithChords(128)
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	q := bfsInto(g, 0, dist, make([]int32, 0, 1))
+	if cap(q) < g.NumNodes() {
+		t.Fatalf("returned queue cap = %d, want >= %d (growth discarded)", cap(q), g.NumNodes())
+	}
+	// Reuse must not re-grow: a full traversal visits every node, so the
+	// queue needs n slots and already has them.
+	for i := range dist {
+		dist[i] = -1
+	}
+	q2 := bfsInto(g, 1, dist, q)
+	if &q2[0] != &q[0] {
+		t.Fatal("reused queue reallocated despite sufficient capacity")
+	}
+}

@@ -11,6 +11,12 @@
 // output under concurrency must make each stage's work independent of
 // scheduling order — the core characterizer does this by deriving an
 // independent RNG stream per stage (mathx.RNG.Derive).
+//
+// Stages may additionally opt into a result cache (Stage.CacheKey with
+// Encode/Decode hooks, served by Options.Cache): on a hit the scheduler
+// hydrates the stage's outputs instead of running it, which is how warm
+// re-runs of the characterization battery skip the expensive analyses. See
+// internal/cache for the content-addressed key discipline.
 package pipeline
 
 import (
@@ -23,20 +29,46 @@ import (
 
 // Stage is one named node of the graph. Run is invoked at most once, after
 // every stage named in Deps has finished successfully.
+//
+// A stage that sets CacheKey (with Encode and Decode) opts into the result
+// cache: when Options.Cache holds the key, the scheduler calls Decode to
+// hydrate the stage's outputs instead of Run; after a successful Run it
+// calls Encode and stores the payload. The key must be content-addressed —
+// a pure function of everything that changes the stage's output — because
+// the scheduler never invalidates, it only looks up.
 type Stage struct {
 	Name string
 	Deps []string
 	Run  func() error
+	// CacheKey enables result caching for this stage when non-empty and
+	// Options.Cache is set. Encode and Decode must both be non-nil then.
+	CacheKey string
+	// Encode serializes the stage's outputs after a successful Run. An
+	// error skips the store (the run's results still stand).
+	Encode func() ([]byte, error)
+	// Decode hydrates the stage's outputs from a cached payload. An error
+	// is treated as a miss and the stage runs normally.
+	Decode func([]byte) error
 }
 
 // Timing reports how one stage fared: wall-clock duration for executed
 // stages, Skipped for stages that never ran (deselected, or a dependency
-// failed), and Err for failures (including dependency-failure skips).
+// failed), Err for failures (including dependency-failure skips), and
+// CacheHit for stages hydrated from the result cache instead of executed.
 type Timing struct {
 	Name     string
 	Duration time.Duration
 	Err      error
 	Skipped  bool
+	CacheHit bool
+}
+
+// Cacher is the result-cache surface the scheduler consumes; implemented by
+// internal/cache.Cache. Get reports a miss (never an error) for unknown or
+// unreadable keys; Put must tolerate concurrent writers of the same key.
+type Cacher interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
 }
 
 // Options tunes a Run.
@@ -47,6 +79,8 @@ type Options struct {
 	// Only, when non-empty, restricts execution to the named stages plus
 	// their transitive dependencies. Unknown names are an error.
 	Only []string
+	// Cache, when non-nil, serves stages that declare a CacheKey.
+	Cache Cacher
 }
 
 // ErrDependencySkipped wraps the error recorded for a stage that was skipped
@@ -250,10 +284,11 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 			defer wg.Done()
 			for i := range ready {
 				start := time.Now()
-				err := stages[i].Run()
+				hit, err := execute(&stages[i], opts.Cache)
 				mu.Lock()
 				timings[i].Duration = time.Since(start)
 				timings[i].Skipped = false
+				timings[i].CacheHit = hit
 				timings[i].Err = err
 				finish(i, err == nil)
 				mu.Unlock()
@@ -269,4 +304,29 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 		}
 	}
 	return timings, errors.Join(errs...)
+}
+
+// execute runs one stage, consulting the result cache first when the stage
+// opted in. A cache hit hydrates the stage's outputs through Decode and
+// skips Run entirely; a decode failure (corrupt or stale payload) falls back
+// to a normal run. After a successful run the encoded outputs are stored —
+// Encode failures only skip the store, never fail the stage.
+func execute(s *Stage, c Cacher) (cacheHit bool, err error) {
+	cached := c != nil && s.CacheKey != "" && s.Encode != nil && s.Decode != nil
+	if cached {
+		if data, ok := c.Get(s.CacheKey); ok {
+			if derr := s.Decode(data); derr == nil {
+				return true, nil
+			}
+		}
+	}
+	if err := s.Run(); err != nil {
+		return false, err
+	}
+	if cached {
+		if data, eerr := s.Encode(); eerr == nil {
+			c.Put(s.CacheKey, data)
+		}
+	}
+	return false, nil
 }

@@ -193,3 +193,166 @@ func TestEmptyAndSingle(t *testing.T) {
 		t.Fatalf("timing = %+v", timings[0])
 	}
 }
+
+// mapCache is an in-memory Cacher for scheduler tests.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	puts int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string][]byte{}} }
+
+func (c *mapCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	data, ok := c.m[key]
+	return data, ok
+}
+
+func (c *mapCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = data
+}
+
+func TestCacheHitSkipsRun(t *testing.T) {
+	cache := newMapCache()
+	var state string
+	mk := func() []Stage {
+		var ran atomic.Int32
+		return []Stage{{
+			Name: "work",
+			Run: func() error {
+				ran.Add(1)
+				state = "computed"
+				return nil
+			},
+			CacheKey: "work-v1-k",
+			Encode:   func() ([]byte, error) { return []byte(state), nil },
+			Decode: func(b []byte) error {
+				state = string(b)
+				return nil
+			},
+		}}
+	}
+
+	// Cold: runs, stores.
+	state = ""
+	timings, err := Run(mk(), Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timings[0].CacheHit {
+		t.Fatal("cold run reported a cache hit")
+	}
+	if cache.puts != 1 {
+		t.Fatalf("puts = %d, want 1", cache.puts)
+	}
+
+	// Warm: hydrates without running.
+	state = ""
+	timings, err = Run(mk(), Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timings[0].CacheHit {
+		t.Fatal("warm run missed")
+	}
+	if state != "computed" {
+		t.Fatalf("decode did not hydrate state: %q", state)
+	}
+	if cache.puts != 1 {
+		t.Fatalf("warm run stored again: puts = %d", cache.puts)
+	}
+}
+
+func TestCacheDecodeFailureFallsBackToRun(t *testing.T) {
+	cache := newMapCache()
+	cache.m["k"] = []byte("garbage")
+	ran := false
+	stages := []Stage{{
+		Name:     "s",
+		Run:      func() error { ran = true; return nil },
+		CacheKey: "k",
+		Encode:   func() ([]byte, error) { return []byte("good"), nil },
+		Decode:   func(b []byte) error { return errors.New("corrupt") },
+	}}
+	timings, err := Run(stages, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timings[0].CacheHit || !ran {
+		t.Fatalf("decode failure should fall back to Run (hit=%v ran=%v)", timings[0].CacheHit, ran)
+	}
+	if string(cache.m["k"]) != "good" {
+		t.Fatal("fallback run should overwrite the bad entry")
+	}
+}
+
+func TestCacheEncodeFailureStillSucceeds(t *testing.T) {
+	cache := newMapCache()
+	stages := []Stage{{
+		Name:     "s",
+		Run:      func() error { return nil },
+		CacheKey: "k",
+		Encode:   func() ([]byte, error) { return nil, errors.New("cannot encode") },
+		Decode:   func(b []byte) error { return nil },
+	}}
+	timings, err := Run(stages, Options{Cache: cache})
+	if err != nil || timings[0].Err != nil {
+		t.Fatalf("encode failure must not fail the stage: %v %v", err, timings[0].Err)
+	}
+	if cache.puts != 0 {
+		t.Fatal("failed encode should not store")
+	}
+}
+
+func TestCacheIgnoredWithoutHooksOrCacher(t *testing.T) {
+	// No Cacher configured: hooks are inert.
+	calls := 0
+	stages := []Stage{{
+		Name:     "s",
+		Run:      func() error { calls++; return nil },
+		CacheKey: "k",
+		Encode:   func() ([]byte, error) { return nil, nil },
+		Decode:   func(b []byte) error { return nil },
+	}}
+	if _, err := Run(stages, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("stage did not run without a cacher")
+	}
+
+	// Cacher configured but stage has no key: never consulted.
+	cache := newMapCache()
+	plain := []Stage{{Name: "p", Run: func() error { return nil }}}
+	if _, err := Run(plain, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.gets != 0 || cache.puts != 0 {
+		t.Fatalf("uncached stage touched the cache: gets=%d puts=%d", cache.gets, cache.puts)
+	}
+}
+
+func TestCacheFailedStageNotStored(t *testing.T) {
+	cache := newMapCache()
+	boom := errors.New("boom")
+	stages := []Stage{{
+		Name:     "s",
+		Run:      func() error { return boom },
+		CacheKey: "k",
+		Encode:   func() ([]byte, error) { return []byte("x"), nil },
+		Decode:   func(b []byte) error { return nil },
+	}}
+	if _, err := Run(stages, Options{Cache: cache}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if cache.puts != 0 {
+		t.Fatal("failed stage must not be cached")
+	}
+}

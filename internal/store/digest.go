@@ -1,0 +1,52 @@
+package store
+
+import (
+	"elites/internal/cache"
+	"elites/internal/timeseries"
+	"elites/internal/twitter"
+)
+
+// DatasetDigest returns a stable 64-bit content hash of everything the
+// characterization pipeline reads from a dataset: the graph's CSR arrays
+// (via graph.Digest), every profile field that feeds an analysis, the
+// verified-total, and the activity series. It is the dataset half of the
+// result-cache key (see internal/cache): any change to the underlying data
+// changes the digest and therefore misses every cached stage. activity may
+// be nil.
+func DatasetDigest(ds *twitter.Dataset, activity *timeseries.DailySeries) uint64 {
+	h := cache.NewHasher()
+	if ds != nil {
+		if ds.Graph != nil {
+			h.Word(ds.Graph.Digest())
+		}
+		h.Word(uint64(ds.TotalVerified))
+		h.Word(uint64(len(ds.Profiles)))
+		for i := range ds.Profiles {
+			p := &ds.Profiles[i]
+			h.Word(uint64(p.ID))
+			h.String(p.ScreenName)
+			h.String(p.Name)
+			h.String(p.Bio)
+			h.String(p.Lang)
+			if p.Verified {
+				h.Byte(1)
+			} else {
+				h.Byte(0)
+			}
+			h.Byte(byte(p.Category))
+			h.Word(uint64(p.Followers))
+			h.Word(uint64(p.Friends))
+			h.Word(uint64(p.Statuses))
+			h.Word(uint64(p.Listed))
+			h.Word(uint64(p.CreatedAt.UTC().Unix()))
+		}
+	}
+	if activity != nil {
+		h.Word(uint64(activity.Start.UTC().Unix()))
+		h.Word(uint64(len(activity.Values)))
+		for _, v := range activity.Values {
+			h.Float64(v)
+		}
+	}
+	return h.Sum()
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — run the repo's heavy benchmarks and record the results as
+# machine-readable JSON, establishing a perf baseline future PRs can diff
+# against.
+#
+# Covered: sharded Brandes betweenness (worker budgets 1/2/8), the CSN
+# goodness-of-fit bootstrap (1/2/8), and the full characterization cold
+# vs. warm result cache.
+#
+#   sh scripts/bench.sh                 # writes BENCH_results.json
+#   BENCHTIME=5x sh scripts/bench.sh    # more iterations
+#   OUT=/tmp/b.json sh scripts/bench.sh # alternate output path
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_results.json}"
+PATTERN='BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache'
+
+raw=$(mktemp)
+json=$(mktemp)
+trap 'rm -f "$raw" "$json"' EXIT
+
+# No pipe: a compile error or benchmark failure must abort (set -e) before
+# the baseline file is overwritten.
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . > "$raw"
+cat "$raw" >&2
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name[n] = $1; iters[n] = $2; ns[n] = $3; n++
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+            name[i], iters[i], ns[i], (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$raw" > "$json"
+mv "$json" "$OUT"
+trap 'rm -f "$raw"' EXIT
+
+echo "wrote $OUT" >&2
