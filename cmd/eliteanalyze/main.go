@@ -19,6 +19,13 @@
 // one-line hit/miss summary goes to stderr (stdout carries only the
 // report); -no-cache bypasses a configured cache.
 //
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU over the
+// whole analysis, heap at exit after a final GC), so performance work can
+// attach evidence instead of guessing:
+//
+//	eliteanalyze -n 20000 -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
+//
 // Usage:
 //
 //	eliteanalyze -data ./dataset          # analyze a saved dataset
@@ -35,6 +42,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"elites"
@@ -44,19 +53,49 @@ import (
 
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset directory (from elitegen/elitecrawl)")
-		n        = flag.Int("n", 10000, "users to generate when -data is not given")
-		seed     = flag.Uint64("seed", 42, "seed for in-memory generation")
-		fast     = flag.Bool("fast", false, "skip eigenvalues, betweenness and bootstraps")
-		figdir   = flag.String("figdir", "", "directory to write the paper's figures as SVG")
-		parallel = flag.Int("parallel", 0, "max concurrent analysis stages (0 = all cores, 1 = one stage at a time)")
-		stagesF  = flag.String("stages", "", "comma-separated stage subset, e.g. summary,degree (available: "+strings.Join(elites.StageNames(), ",")+")")
-		timings  = flag.Bool("timings", false, "print a per-stage wall-clock table after the report")
-		cacheDir = flag.String("cache", "", "directory for the per-stage result cache (warm re-runs skip the heavy stages)")
-		noCache  = flag.Bool("no-cache", false, "bypass the result cache even when -cache is set")
+		data       = flag.String("data", "", "dataset directory (from elitegen/elitecrawl)")
+		n          = flag.Int("n", 10000, "users to generate when -data is not given")
+		seed       = flag.Uint64("seed", 42, "seed for in-memory generation")
+		fast       = flag.Bool("fast", false, "skip eigenvalues, betweenness and bootstraps")
+		figdir     = flag.String("figdir", "", "directory to write the paper's figures as SVG")
+		parallel   = flag.Int("parallel", 0, "max concurrent analysis stages (0 = all cores, 1 = one stage at a time)")
+		stagesF    = flag.String("stages", "", "comma-separated stage subset, e.g. summary,degree (available: "+strings.Join(elites.StageNames(), ",")+")")
+		timings    = flag.Bool("timings", false, "print a per-stage wall-clock table after the report")
+		cacheDir   = flag.String("cache", "", "directory for the per-stage result cache (warm re-runs skip the heavy stages)")
+		noCache    = flag.Bool("no-cache", false, "bypass the result cache even when -cache is set")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
-	if err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eliteanalyze:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "eliteanalyze:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // settle live objects so the heap profile is current
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "eliteanalyze: memprofile:", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "eliteanalyze:", err)
 		os.Exit(1)
 	}

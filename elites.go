@@ -244,6 +244,10 @@ type (
 	PowerLawOptions = powerlaw.Options
 	// VuongResult is a likelihood-ratio comparison outcome.
 	VuongResult = powerlaw.VuongResult
+	// GoFResult is a bootstrap goodness-of-fit outcome with full
+	// accounting (p-value, exceedances, dropped replicates); returned by
+	// PowerLawFit.Bootstrap.
+	GoFResult = powerlaw.GoFResult
 	// DailySeries is a contiguous daily time series.
 	DailySeries = timeseries.DailySeries
 	// ADFResult is an Augmented Dickey–Fuller test outcome.

@@ -29,8 +29,14 @@ func renderString(t *testing.T, rep *Report) string {
 	return buf.String()
 }
 
-// cachedStageNames is what a full run should report as cache traffic.
-var cachedStageNames = []string{StageDegree, StageEigen, StageDistances, StageCentrality}
+// cachedStageNames is what a full run should report as cache traffic, in
+// stage declaration order; seedKeyedStageNames is the subset whose options
+// digest includes Seed (basic and mutualcore are deterministic over the
+// graph, so a seed change still hits them).
+var (
+	cachedStageNames    = []string{StageBasic, StageDegree, StageEigen, StageDistances, StageCentrality, StageMutualCore}
+	seedKeyedStageNames = []string{StageDegree, StageEigen, StageDistances, StageCentrality}
+)
 
 func TestWarmRunByteIdenticalAndSkipsHeavyStages(t *testing.T) {
 	p, ds := testPlatform(t)
@@ -72,6 +78,12 @@ func TestWarmRunByteIdenticalAndSkipsHeavyStages(t *testing.T) {
 	if cold.Degree.GoFP != warm.Degree.GoFP || cold.Degree.Fit.Alpha != warm.Degree.Fit.Alpha {
 		t.Fatal("degree analysis diverges after cache round trip")
 	}
+	if !reflect.DeepEqual(cold.Basic, warm.Basic) {
+		t.Fatal("basic analysis diverges after cache round trip")
+	}
+	if !reflect.DeepEqual(cold.MutualCore, warm.MutualCore) {
+		t.Fatal("mutual-core analysis diverges after cache round trip")
+	}
 }
 
 func TestCacheTimingsMarkHits(t *testing.T) {
@@ -99,7 +111,7 @@ func TestCacheTimingsMarkHits(t *testing.T) {
 			t.Errorf("stage %s not marked as a cache hit in timings", name)
 		}
 	}
-	if hits[StageSummary] || hits[StageBasic] {
+	if hits[StageSummary] || hits[StageReciprocity] {
 		t.Error("uncached stage marked as hit")
 	}
 }
@@ -120,7 +132,7 @@ func TestChangedOptionsMiss(t *testing.T) {
 		mutate     func(o *Options)
 		wantMisses []string
 	}{
-		{"seed", func(o *Options) { o.Seed = 4 }, cachedStageNames},
+		{"seed", func(o *Options) { o.Seed = 4 }, seedKeyedStageNames},
 		{"distance sources", func(o *Options) { o.DistanceSources = 61 }, []string{StageDistances}},
 		{"betweenness sources", func(o *Options) { o.BetweennessSources = 41 }, []string{StageCentrality}},
 		{"bootstrap reps", func(o *Options) { o.BootstrapReps = 21 }, []string{StageDegree, StageEigen}},
@@ -317,7 +329,7 @@ func contains(xs []string, want string) bool {
 }
 
 func TestCacheKeysAreStageScoped(t *testing.T) {
-	// All four cached stages on one dataset produce four distinct files —
+	// Every cached stage on one dataset produces its own distinct file —
 	// no key collisions between stages sharing a dataset digest.
 	p, ds := testPlatform(t)
 	activity := p.ActivitySeries(p.EnglishNodes())

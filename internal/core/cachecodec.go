@@ -16,9 +16,19 @@ import (
 // miss and recomputes.
 const (
 	distancesCodecVersion  = 1
-	degreeCodecVersion     = 1
-	eigenCodecVersion      = 1
 	centralityCodecVersion = 1
+	// degree and eigen are at v2: the PR 4 power-law kernel changed the
+	// fit's numerics (suffix-sum tail statistics, ladder-evaluated zeta,
+	// warm-started Brent) and the bootstrap's denominator accounting
+	// (dropped replicates are excluded), plus Fit grew derived unexported
+	// state — v1 entries carry pre-kernel values and must not be served.
+	degreeCodecVersion = 2
+	eigenCodecVersion  = 2
+	// basic and mutualcore joined the cache in PR 4 (the ROADMAP's
+	// mid-weight leftovers): both are pure functions of the graph with no
+	// shaping options, so their options digest is the empty hash.
+	basicCodecVersion      = 1
+	mutualCoreCodecVersion = 1
 )
 
 // --- distances ---------------------------------------------------------------
@@ -175,4 +185,87 @@ func decodeCentralityFrom(d *cache.Decoder) ([]CentralityPair, error) {
 		pairs = append(pairs, p)
 	}
 	return pairs, nil
+}
+
+// --- basic (§IV-A) -----------------------------------------------------------
+
+func encodeBasicTo(e *cache.Encoder, b BasicAnalysis) {
+	e.Float64(b.Clustering)
+	e.Float64(b.Assortativity)
+	e.Int(b.AttractingComponents)
+	e.Uvarint(uint64(len(b.AttractingCores)))
+	for _, v := range b.AttractingCores {
+		e.Int(v)
+	}
+}
+
+func decodeBasicFrom(d *cache.Decoder) (BasicAnalysis, error) {
+	b := BasicAnalysis{
+		Clustering:           d.Float64(),
+		Assortativity:        d.Float64(),
+		AttractingComponents: d.Int(),
+	}
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return b, d.Err()
+	}
+	if n > 10 { // the stage keeps at most 10 representative cores
+		return b, cache.ErrCorrupt
+	}
+	for i := uint64(0); i < n; i++ {
+		b.AttractingCores = append(b.AttractingCores, d.Int())
+	}
+	return b, d.Err()
+}
+
+// --- mutual core (§IV-C conjecture) ------------------------------------------
+
+func encodeMutualCoreTo(e *cache.Encoder, m *MutualCoreAnalysis) {
+	e.Bool(m != nil)
+	if m == nil {
+		return
+	}
+	e.Int(m.CoreK)
+	e.Int(m.Degeneracy)
+	e.Int(m.CoreNodes)
+	e.Float64(m.CoreReciprocity)
+	e.Float64(m.PeripheryReciprocity)
+	e.Float64(m.MutualEdgeShare)
+	e.Uvarint(uint64(len(m.RichClub)))
+	for _, p := range m.RichClub {
+		e.Int(p.K)
+		e.Int(p.N)
+		e.Float64(p.Phi)
+		e.Float64(p.PhiNorm)
+	}
+}
+
+func decodeMutualCoreFrom(d *cache.Decoder) (*MutualCoreAnalysis, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	m := &MutualCoreAnalysis{
+		CoreK:                d.Int(),
+		Degeneracy:           d.Int(),
+		CoreNodes:            d.Int(),
+		CoreReciprocity:      d.Float64(),
+		PeripheryReciprocity: d.Float64(),
+		MutualEdgeShare:      d.Float64(),
+	}
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > 1024 { // the curve has ~10 log-spaced points; reject corruption
+		return nil, cache.ErrCorrupt
+	}
+	for i := uint64(0); i < n; i++ {
+		m.RichClub = append(m.RichClub, graph.RichClubPoint{
+			K: d.Int(), N: d.Int(), Phi: d.Float64(), PhiNorm: d.Float64(),
+		})
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+	}
+	return m, nil
 }

@@ -81,10 +81,11 @@ type Options struct {
 	Timings bool
 	// CacheDir, when non-empty, enables the two-tier per-stage result
 	// cache rooted at that directory (in-process LRU over an on-disk
-	// store; see internal/cache). The expensive stages — distances,
-	// degree, eigen, centrality — are keyed on (dataset digest, options
-	// digest, stage, codec version), so a warm re-run hydrates their
-	// outputs instead of recomputing betweenness, the bootstraps and the
+	// store; see internal/cache). The expensive and mid-weight stages —
+	// basic, distances, degree, eigen, centrality, mutualcore — are keyed
+	// on (dataset digest, options digest, stage, codec version), so a warm
+	// re-run hydrates their outputs instead of recomputing betweenness,
+	// the bootstraps, the clustering/assortativity passes and the
 	// BFS sweeps. Cached and fresh runs render byte-identically; cache
 	// traffic is reported in Report.Cache. Parallelism and Timings never
 	// enter cache keys (they cannot change results — the determinism
@@ -333,10 +334,23 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 			c.summarize(rep, ds, scc, wcc)
 			return nil
 		}},
-		{Name: StageBasic, Deps: []string{StageComponents}, Run: func() error {
+		withCache(pipeline.Stage{Name: StageBasic, Deps: []string{StageComponents}, Run: func() error {
 			c.basic(rep, g, scc)
 			return nil
-		}},
+		}}, basicCodecVersion,
+			// No option shapes this stage's output (and Seed deliberately
+			// stays out of the digest), so one entry serves every run over
+			// the same dataset.
+			cache.HashWords(),
+			func(e *cache.Encoder) { encodeBasicTo(e, rep.Basic) },
+			func(d *cache.Decoder) error {
+				b, err := decodeBasicFrom(d)
+				if err != nil {
+					return err
+				}
+				rep.Basic = b
+				return nil
+			}),
 		withCache(pipeline.Stage{Name: StageDegree, Run: func() error {
 			c.degreeAnalysis(rep, g, base.Derive(StageDegree))
 			return nil
@@ -425,10 +439,20 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 		}
 	}
 	if !c.opts.SkipCategories {
-		stages = append(stages, pipeline.Stage{Name: StageMutualCore, Run: func() error {
+		stages = append(stages, withCache(pipeline.Stage{Name: StageMutualCore, Run: func() error {
 			rep.MutualCore = AnalyzeMutualCore(g)
 			return nil
-		}})
+		}}, mutualCoreCodecVersion,
+			cache.HashWords(), // deterministic over the graph; no options
+			func(e *cache.Encoder) { encodeMutualCoreTo(e, rep.MutualCore) },
+			func(d *cache.Decoder) error {
+				m, err := decodeMutualCoreFrom(d)
+				if err != nil {
+					return err
+				}
+				rep.MutualCore = m
+				return nil
+			}))
 	}
 	if activity != nil {
 		stages = append(stages, pipeline.Stage{Name: StageActivity, Run: func() error {

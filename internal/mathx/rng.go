@@ -19,6 +19,15 @@ type RNG struct {
 // which guarantees a well-distributed initial state even for small seeds.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the state NewRNG(seed) would construct,
+// discarding any cached normal deviate. It lets hot loops (the bootstrap's
+// per-replicate derived streams) reuse one generator instead of allocating a
+// fresh one per item.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -29,7 +38,8 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.hasSpare = false
+	r.spare = 0
 }
 
 // splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used for
@@ -53,17 +63,32 @@ func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 // with each other. The concurrent analysis pipeline relies on this to hand
 // every stage its own reproducible randomness whatever the schedule.
 func (r *RNG) Derive(label string) *RNG {
+	out := &RNG{}
+	r.DeriveInto(out, []byte(label))
+	return out
+}
+
+// DeriveInto reseeds dst to the exact stream Derive(string(label)) would
+// return, without allocating. It exists for per-item derivations inside
+// steady-state hot loops (one bootstrap replicate per label); dst may be r
+// itself.
+func (r *RNG) DeriveInto(dst *RNG, label []byte) {
 	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 	h := uint64(fnvOffset)
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= fnvPrime
 	}
+	dst.Reseed(r.deriveSeed(h))
+}
+
+// deriveSeed folds a label hash into this generator's state, SplitMix64-style.
+func (r *RNG) deriveSeed(h uint64) uint64 {
 	seed := h
 	for _, s := range r.s {
 		seed = splitmix64(seed + 0x9e3779b97f4a7c15 + s)
 	}
-	return NewRNG(seed)
+	return seed
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -281,3 +281,38 @@ func TestDeriveIndependentStreams(t *testing.T) {
 		t.Fatalf("derived streams correlated: cov=%v", cov)
 	}
 }
+
+func TestDeriveIntoMatchesDerive(t *testing.T) {
+	base := NewRNG(77)
+	var dst RNG
+	for _, label := range []string{"gof/0", "gof/17", "", "x"} {
+		want := base.Derive(label)
+		base.DeriveInto(&dst, []byte(label))
+		for i := 0; i < 16; i++ {
+			if got, w := dst.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("label %q draw %d: DeriveInto %v != Derive %v", label, i, got, w)
+			}
+		}
+	}
+	// Reseeding must clear the cached normal spare: a generator that has
+	// consumed one Normal draw and is then re-derived must match a fresh one.
+	a := base.Derive("n")
+	base.DeriveInto(&dst, []byte("n"))
+	dst.Normal()
+	base.DeriveInto(&dst, []byte("n"))
+	if a.Normal() != dst.Normal() {
+		t.Fatal("DeriveInto left stale Box-Muller spare state behind")
+	}
+}
+
+func TestReseedMatchesNewRNG(t *testing.T) {
+	r := NewRNG(1)
+	r.Normal() // leave spare state behind
+	r.Reseed(42)
+	want := NewRNG(42)
+	for i := 0; i < 8; i++ {
+		if r.Uint64() != want.Uint64() {
+			t.Fatalf("Reseed(42) draw %d diverges from NewRNG(42)", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package mathx
+
+import "math"
+
+// This file holds the fast-path Hurwitz zeta machinery used by the discrete
+// power-law kernel (internal/powerlaw). The Euler–Maclaurin evaluation in
+// HurwitzZeta costs ~25 transcendental calls; the Clauset–Shalizi–Newman fit
+// evaluates ζ(α, q) once per distinct tail value per xmin candidate, which
+// made zeta the dominant cost of a fit. Two complementary shortcuts repair
+// that:
+//
+//   - ZetaLadder turns a descending, integer-spaced scan of q values into a
+//     downward recurrence — one math.Pow per unit step after a single
+//     Euler–Maclaurin anchor — so a KS scan over the integer support pays
+//     one anchor per α instead of one per distinct value;
+//   - ZetaCache memoizes exact (s, q) pairs, so repeated evaluations at the
+//     same point (the MLE's ζ(α, xmin) re-read by the KS statistic, the
+//     CCDF's denominator) are computed once.
+//
+// Both are numerically transparent in the sense the power-law kernel
+// depends on: a ZetaCache hit returns the bit-identical value HurwitzZeta
+// would, and a ZetaLadder walk is a deterministic function of the anchor
+// point and the visited sequence, so any two scans over the same descending
+// sequence agree bit for bit.
+
+// ZetaLadderMaxStep is the largest downward gap (in units of 1) a ZetaLadder
+// bridges by recurrence before it re-anchors with a fresh Euler–Maclaurin
+// evaluation. Beyond ~this many unit steps the recurrence costs more pows
+// than HurwitzZeta itself.
+const ZetaLadderMaxStep = 32
+
+// ZetaLadder evaluates ζ(s, q) for one fixed exponent s over a sequence of
+// arguments, exploiting the downward recurrence
+//
+//	ζ(s, q) = ζ(s, q+1) + q^(−s).
+//
+// Each At call either walks down from the previous evaluation — when the new
+// argument lies below it by a positive integer no larger than
+// ZetaLadderMaxStep — at one math.Pow per unit step, or re-anchors with a
+// full HurwitzZeta evaluation. Descending integer-support scans (the KS
+// statistic of a discrete power-law fit) therefore pay one Euler–Maclaurin
+// anchor total, plus one pow per unit of support they cross.
+//
+// The zero value is not ready for use; construct with NewZetaLadder. A
+// ZetaLadder is not safe for concurrent use.
+type ZetaLadder struct {
+	s     float64
+	q, z  float64
+	valid bool
+}
+
+// NewZetaLadder returns a ladder for the fixed exponent s (s > 1 for a
+// finite zeta).
+func NewZetaLadder(s float64) ZetaLadder { return ZetaLadder{s: s} }
+
+// At returns ζ(s, q) for q > 0, by recurrence from the previous call when
+// possible and by Euler–Maclaurin anchor otherwise.
+func (l *ZetaLadder) At(q float64) float64 {
+	if l.valid {
+		gap := l.q - q
+		if gap == 0 {
+			return l.z
+		}
+		if gap > 0 && gap <= ZetaLadderMaxStep && gap == math.Trunc(gap) {
+			z := l.z
+			qq := l.q
+			for i := 0; i < int(gap); i++ {
+				qq--
+				z += math.Pow(qq, -l.s)
+			}
+			l.q, l.z = q, z
+			return z
+		}
+	}
+	z := HurwitzZeta(l.s, q)
+	l.q, l.z, l.valid = q, z, true
+	return z
+}
+
+// zetaCacheSize is the number of direct-mapped ZetaCache slots. The discrete
+// MLE's Brent search touches a few dozen distinct α values per xmin
+// candidate; 64 slots keep the final iterate resident for the KS statistic's
+// re-read without any eviction policy.
+const zetaCacheSize = 64
+
+// ZetaCache is a small direct-mapped memo for HurwitzZeta over exact (s, q)
+// pairs. A hit returns the bit-identical value a fresh HurwitzZeta call
+// would, so callers can route every evaluation through one cache without
+// changing results. The zero value is ready for use. A ZetaCache is not safe
+// for concurrent use; the power-law kernel keeps one per worker scratch.
+type ZetaCache struct {
+	keyS [zetaCacheSize]float64
+	keyQ [zetaCacheSize]float64
+	val  [zetaCacheSize]float64
+	set  [zetaCacheSize]bool
+}
+
+// Get returns ζ(s, q), computing and caching it on a miss.
+func (c *ZetaCache) Get(s, q float64) float64 {
+	h := math.Float64bits(s)*0x9e3779b97f4a7c15 ^ math.Float64bits(q)*0xbf58476d1ce4e5b9
+	i := int((h ^ h>>29) % zetaCacheSize)
+	if c.set[i] && c.keyS[i] == s && c.keyQ[i] == q {
+		return c.val[i]
+	}
+	v := HurwitzZeta(s, q)
+	c.keyS[i], c.keyQ[i], c.val[i], c.set[i] = s, q, v, true
+	return v
+}

@@ -9,7 +9,10 @@ import (
 // Codec for cached pipeline stages (internal/cache). A Fit round-trips
 // completely — including the sorted data and fit options that back Tail,
 // GoodnessOfFit and CompareAll — so a fit hydrated from the result cache is
-// indistinguishable from a freshly computed one.
+// indistinguishable from a freshly computed one. Derived unexported state
+// (the suffix log-sums and the discrete CCDF denominator) is deliberately
+// not encoded: it is a pure function of the encoded fields and is
+// recomputed by DecodeFitFrom, keeping cache entries minimal.
 
 // ErrDecode reports a malformed Fit or VuongResult payload.
 var ErrDecode = errors.New("powerlaw: malformed encoded fit")
@@ -55,6 +58,7 @@ func DecodeFitFrom(d *cache.Decoder) (*Fit, error) {
 	if d.Err() != nil {
 		return nil, ErrDecode
 	}
+	f.initDerived()
 	return f, nil
 }
 

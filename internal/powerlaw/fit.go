@@ -14,13 +14,44 @@
 //     any worker count;
 //   - Vuong likelihood-ratio comparisons against lognormal, exponential
 //     and Poisson alternatives fitted to the same tail.
+//
+// # The fast-path kernel and its numeric contract
+//
+// One fit scans up to MaxXminCandidates cutoffs over the sorted data; the
+// kernel keeps that scan near-linear instead of O(candidates × tail):
+//
+//   - tail log-sums come from one precomputed suffix-sum pass — logSuf[i] =
+//     Σ_{j≥i} ln data[j], accumulated from the largest value down — so every
+//     candidate's continuous MLE and discrete Σ ln x are O(1) lookups;
+//   - the discrete MLE's Brent search brackets warm around the closed-form
+//     continuous estimate on xmin−½ (falling back to the full [1, AlphaMax]
+//     range whenever the minimizer pins an interior bracket edge), and every
+//     ζ(α, xmin) evaluation goes through a mathx.ZetaCache memo;
+//   - the discrete KS statistic walks the tail's distinct values descending
+//     through a mathx.ZetaLadder, paying one Euler–Maclaurin anchor per α
+//     (plus re-anchors across gaps wider than mathx.ZetaLadderMaxStep)
+//     instead of one per distinct value;
+//   - bootstrap replicates refit through per-worker reusable scratch
+//     (sample buffer, counting-sort path for bounded integer replicates,
+//     candidate and suffix-sum buffers, allocation-free derived RNG
+//     streams), so the steady-state replicate path allocates nothing.
+//
+// These choices fix the kernel's floating-point semantics: tail log-sums
+// are right-to-left (descending-index) sums, and discrete model CDFs are
+// ladder walks anchored per the rule above. The test-only reference
+// implementation (reference_test.go) restates the same contract naively —
+// recomputing everything per candidate with fresh allocations — and the
+// equivalence tests assert the two agree bit for bit, which pins every
+// reuse and indexing shortcut in this file.
 package powerlaw
 
 import (
 	"errors"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
+	"sync"
 
 	"elites/internal/mathx"
 	"elites/internal/parallel"
@@ -85,15 +116,54 @@ type Fit struct {
 	AlphaStdErr float64
 
 	sorted []float64 // full sorted data, ascending
+	logSuf []float64 // suffix sums of ln(sorted): logSuf[i] = Σ_{j≥i} ln sorted[j]
+	zden   float64   // ζ(Alpha, Xmin) for discrete fits (the CCDF denominator)
 	opts   Options
 }
 
 // Tail returns a copy of the observations at or above Xmin, ascending.
 func (f *Fit) Tail() []float64 {
-	i := sort.SearchFloat64s(f.sorted, f.Xmin)
+	i := f.tailStart()
 	out := make([]float64, len(f.sorted)-i)
 	copy(out, f.sorted[i:])
 	return out
+}
+
+// tailStart returns the index of the first observation at or above Xmin.
+func (f *Fit) tailStart() int { return sort.SearchFloat64s(f.sorted, f.Xmin) }
+
+// tailView returns the tail as a view into the fit's sorted data — no copy.
+// Callers must not mutate it; it is how GoodnessOfFit and the Vuong
+// comparisons share one tail instead of re-materializing it per use.
+func (f *Fit) tailView() []float64 { return f.sorted[f.tailStart():] }
+
+// tailLogSum returns Σ ln x over sorted[i:] from the precomputed suffix
+// sums (recomputing on the fly only for fits built before the suffix pass
+// existed, e.g. hand-constructed test values).
+func (f *Fit) tailLogSum(i int) float64 {
+	if f.logSuf != nil {
+		return f.logSuf[i]
+	}
+	s := 0.0
+	for j := len(f.sorted) - 1; j >= i; j-- {
+		s += math.Log(f.sorted[j])
+	}
+	return s
+}
+
+// initDerived fills the unexported derived state (suffix log-sums, the
+// discrete CCDF denominator) that EncodeTo deliberately does not persist:
+// both are pure functions of the encoded fields, so hydrating a fit from
+// the result cache recomputes them instead of storing redundant bytes.
+func (f *Fit) initDerived() {
+	n := len(f.sorted)
+	f.logSuf = make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		f.logSuf[i] = f.logSuf[i+1] + math.Log(f.sorted[i])
+	}
+	if f.Discrete {
+		f.zden = mathx.HurwitzZeta(f.Alpha, f.Xmin)
+	}
 }
 
 // FitDiscrete fits a discrete power law to integer-valued data (degrees,
@@ -125,94 +195,164 @@ func fit(data []float64, discrete bool, o Options) (*Fit, error) {
 	if len(data) < o.MinTail {
 		return nil, ErrTooFewPoints
 	}
-	sort.Float64s(data)
-	candidates := xminCandidates(data, o)
-	if len(candidates) == 0 {
-		return nil, ErrTooFewPoints
+	// slices.Sort (pdqsort, no interface boxing) — replicate data is
+	// NaN-free by construction, so the order matches sort.Float64s.
+	slices.Sort(data)
+	var fc fitCore
+	fc.prepare(data)
+	res, err := fc.run(data, discrete, o)
+	if err != nil {
+		return nil, err
 	}
-	best := &Fit{KS: math.Inf(1)}
-	for _, xmin := range candidates {
-		i := sort.SearchFloat64s(data, xmin)
-		tail := data[i:]
-		if len(tail) < o.MinTail {
+	f := &Fit{
+		Discrete:    discrete,
+		Alpha:       res.alpha,
+		Xmin:        res.xmin,
+		KS:          res.ks,
+		NTail:       res.nTail,
+		N:           len(data),
+		LogLik:      res.logLik,
+		AlphaStdErr: (res.alpha - 1) / math.Sqrt(float64(res.nTail)),
+		sorted:      data,
+		logSuf:      fc.logSuf,
+		opts:        o,
+	}
+	if discrete {
+		f.zden = fc.zeta.Get(res.alpha, res.xmin)
+	}
+	return f, nil
+}
+
+// fitResult is the winning candidate of one xmin scan.
+type fitResult struct {
+	alpha, xmin, ks, logLik float64
+	nTail                   int
+}
+
+// fitCore holds the reusable kernel state for one fit: the suffix log-sums,
+// the distinct-value index, the candidate list and the zeta memo. The
+// observed fit builds one on the stack; bootstrap replicates reuse one per
+// worker scratch so the steady-state replicate path allocates nothing.
+type fitCore struct {
+	// logSuf[i] = Σ_{j≥i} ln data[j], accumulated descending (the kernel's
+	// canonical log-sum order); logSuf[len(data)] = 0.
+	logSuf []float64
+	// distinct holds the last-occurrence index of each distinct value,
+	// ascending. A tail starting at i owns exactly the suffix of entries
+	// with index ≥ i, so every candidate shares one list.
+	distinct []int
+	// cand / candX are the xmin scan's candidate start indices and values.
+	cand  []int
+	candX []float64
+	// zeta memoizes ζ(α, xmin) across the Brent search and the KS re-read.
+	zeta mathx.ZetaCache
+}
+
+// prepare (re)builds the suffix log-sums and distinct-value index for
+// sorted data, reusing buffer capacity.
+func (fc *fitCore) prepare(data []float64) {
+	n := len(data)
+	if cap(fc.logSuf) < n+1 {
+		fc.logSuf = make([]float64, n+1)
+	}
+	fc.logSuf = fc.logSuf[:n+1]
+	fc.logSuf[n] = 0
+	for i := n - 1; i >= 0; i-- {
+		fc.logSuf[i] = fc.logSuf[i+1] + math.Log(data[i])
+	}
+	fc.distinct = fc.distinct[:0]
+	for i := 0; i < n; i++ {
+		if i+1 == n || data[i+1] != data[i] {
+			fc.distinct = append(fc.distinct, i)
+		}
+	}
+}
+
+// candidates fills fc.cand/fc.candX with the xmin candidates to scan: every
+// distinct value except the largest, log-subsampled down to the configured
+// cap; a FixedXmin short-circuits the scan.
+func (fc *fitCore) candidates(data []float64, o Options) {
+	fc.cand = fc.cand[:0]
+	fc.candX = fc.candX[:0]
+	if o.FixedXmin > 0 {
+		fc.cand = append(fc.cand, sort.SearchFloat64s(data, o.FixedXmin))
+		fc.candX = append(fc.candX, o.FixedXmin)
+		return
+	}
+	// Never use the largest value as xmin (tail would be tiny).
+	m := len(fc.distinct)
+	if m > 1 {
+		m--
+	}
+	// first-occurrence index of the j-th distinct value.
+	first := func(j int) int {
+		if j == 0 {
+			return 0
+		}
+		return fc.distinct[j-1] + 1
+	}
+	if m <= o.MaxXminCandidates {
+		for j := 0; j < m; j++ {
+			fc.cand = append(fc.cand, first(j))
+			fc.candX = append(fc.candX, data[fc.distinct[j]])
+		}
+		return
+	}
+	// Log-spaced subsample over the index range preserves resolution at
+	// the small-x end where candidate density matters most.
+	last := -1
+	for k := 0; k < o.MaxXminCandidates; k++ {
+		f := float64(k) / float64(o.MaxXminCandidates-1)
+		idx := int(math.Round(math.Pow(float64(m-1), f)))
+		if idx >= m {
+			idx = m - 1
+		}
+		if idx != last {
+			fc.cand = append(fc.cand, first(idx))
+			fc.candX = append(fc.candX, data[fc.distinct[idx]])
+			last = idx
+		}
+	}
+}
+
+// run scans the candidates and returns the KS-minimizing fit.
+func (fc *fitCore) run(data []float64, discrete bool, o Options) (fitResult, error) {
+	fc.candidates(data, o)
+	n := len(data)
+	best := fitResult{ks: math.Inf(1)}
+	for c := range fc.cand {
+		i := fc.cand[c]
+		xmin := fc.candX[c]
+		nt := n - i
+		if nt < o.MinTail {
 			continue
 		}
 		var alpha, ll float64
 		if discrete {
-			alpha, ll = mleDiscrete(tail, xmin, o.AlphaMax)
+			alpha, ll = fc.mleDiscrete(i, nt, xmin, o.AlphaMax)
 		} else {
-			alpha, ll = mleContinuous(tail, xmin)
+			alpha, ll = fc.mleContinuous(i, nt, xmin)
 		}
 		if math.IsNaN(alpha) || alpha <= 1 {
 			continue
 		}
-		ks := ksDistance(tail, xmin, alpha, discrete)
-		if ks < best.KS {
-			best = &Fit{
-				Discrete: discrete,
-				Alpha:    alpha,
-				Xmin:     xmin,
-				KS:       ks,
-				NTail:    len(tail),
-				N:        len(data),
-				LogLik:   ll,
-			}
+		ks := fc.ksDistance(data, i, nt, xmin, alpha, discrete)
+		if ks < best.ks {
+			best = fitResult{alpha: alpha, xmin: xmin, ks: ks, logLik: ll, nTail: nt}
 		}
 	}
-	if math.IsInf(best.KS, 1) {
-		return nil, ErrTooFewPoints
+	if math.IsInf(best.ks, 1) {
+		return best, ErrTooFewPoints
 	}
-	best.AlphaStdErr = (best.Alpha - 1) / math.Sqrt(float64(best.NTail))
-	best.sorted = data
-	best.opts = o
 	return best, nil
 }
 
-// xminCandidates returns the distinct values to scan, log-subsampled down to
-// the configured cap; a FixedXmin short-circuits the scan.
-func xminCandidates(sorted []float64, o Options) []float64 {
-	if o.FixedXmin > 0 {
-		return []float64{o.FixedXmin}
-	}
-	uniq := make([]float64, 0, 256)
-	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
-			uniq = append(uniq, v)
-		}
-	}
-	// Never use the largest values as xmin (tail would be tiny).
-	if len(uniq) > 1 {
-		uniq = uniq[:len(uniq)-1]
-	}
-	if len(uniq) <= o.MaxXminCandidates {
-		return uniq
-	}
-	// Log-spaced subsample over the index range preserves resolution at
-	// the small-x end where candidate density matters most.
-	out := make([]float64, 0, o.MaxXminCandidates)
-	last := -1
-	for k := 0; k < o.MaxXminCandidates; k++ {
-		f := float64(k) / float64(o.MaxXminCandidates-1)
-		idx := int(math.Round(math.Pow(float64(len(uniq)-1), f)))
-		if idx >= len(uniq) {
-			idx = len(uniq) - 1
-		}
-		if idx != last {
-			out = append(out, uniq[idx])
-			last = idx
-		}
-	}
-	return out
-}
-
 // mleContinuous returns the closed-form Hill estimator and log-likelihood
-// for a continuous power law on [xmin, ∞).
-func mleContinuous(tail []float64, xmin float64) (alpha, logLik float64) {
-	n := float64(len(tail))
-	s := 0.0
-	for _, x := range tail {
-		s += math.Log(x / xmin)
-	}
+// for a continuous power law on [xmin, ∞); the tail log-sum is an O(1)
+// suffix-sum lookup.
+func (fc *fitCore) mleContinuous(i, nt int, xmin float64) (alpha, logLik float64) {
+	n := float64(nt)
+	s := fc.logSuf[i] - n*math.Log(xmin)
 	if s <= 0 {
 		return math.NaN(), math.NaN()
 	}
@@ -221,47 +361,83 @@ func mleContinuous(tail []float64, xmin float64) (alpha, logLik float64) {
 	return alpha, logLik
 }
 
-// mleDiscrete maximizes the zeta likelihood with Brent's method.
-func mleDiscrete(tail []float64, xmin, alphaMax float64) (alpha, logLik float64) {
-	n := float64(len(tail))
-	sumLog := 0.0
-	for _, x := range tail {
-		sumLog += math.Log(x)
-	}
+// brentTol / brentIters are the α search tolerances (part of the kernel's
+// numeric contract; the reference implementation uses the same values).
+const (
+	brentTol   = 1e-8
+	brentIters = 200
+	alphaFloor = 1.0001
+	// brentWarmRadius is the half-width of the warm bracket around the
+	// closed-form continuous estimate; brentEdge is the pin margin that
+	// triggers the full-range fallback.
+	brentWarmRadius = 1.5
+	brentEdge       = 1e-6
+)
+
+// mleDiscrete maximizes the zeta likelihood with Brent's method, bracketing
+// warm around the closed-form continuous estimate on xmin−½ (Clauset et
+// al.'s eq. 3.7 approximation). If the minimizer lands pinned to an
+// interior edge of the warm bracket, the search reruns over the full
+// [alphaFloor, alphaMax] range, so warm-starting can never change which
+// optimum is found — only how many ζ evaluations reaching it costs.
+func (fc *fitCore) mleDiscrete(i, nt int, xmin, alphaMax float64) (alpha, logLik float64) {
+	n := float64(nt)
+	sumLog := fc.logSuf[i]
 	neg := func(a float64) float64 {
-		z := mathx.HurwitzZeta(a, xmin)
+		z := fc.zeta.Get(a, xmin)
 		if math.IsNaN(z) || z <= 0 {
 			return math.Inf(1)
 		}
 		return n*math.Log(z) + a*sumLog
 	}
-	a, nll := mathx.MinimizeBrent(neg, 1.0001, alphaMax, 1e-8, 200)
+	lo, hi := alphaFloor, alphaMax
+	if xmin > 0.5 {
+		if s0 := sumLog - n*math.Log(xmin-0.5); s0 > 0 {
+			a0 := 1 + n/s0
+			wlo := math.Max(alphaFloor, a0-brentWarmRadius)
+			whi := math.Min(alphaMax, a0+brentWarmRadius)
+			if wlo < whi {
+				lo, hi = wlo, whi
+			}
+		}
+	}
+	a, nll := mathx.MinimizeBrent(neg, lo, hi, brentTol, brentIters)
+	if (a-lo < brentEdge && lo > alphaFloor) || (hi-a < brentEdge && hi < alphaMax) {
+		a, nll = mathx.MinimizeBrent(neg, alphaFloor, alphaMax, brentTol, brentIters)
+	}
 	return a, -nll
 }
 
-// ksDistance computes the KS statistic between the empirical CDF of the tail
-// (ascending) and the fitted model CDF.
-func ksDistance(tail []float64, xmin, alpha float64, discrete bool) float64 {
-	n := float64(len(tail))
-	var zden float64
-	if discrete {
-		zden = mathx.HurwitzZeta(alpha, xmin)
-	}
+// ksDistance computes the KS statistic between the empirical CDF of the
+// tail starting at index i and the fitted model CDF, evaluated at the last
+// occurrence of each distinct value. The discrete model CDF walks the
+// distinct values descending through a zeta ladder — one Euler–Maclaurin
+// anchor per α plus one pow per unit of support crossed — instead of one
+// full zeta evaluation per distinct value.
+func (fc *fitCore) ksDistance(data []float64, i, nt int, xmin, alpha float64, discrete bool) float64 {
+	n := float64(nt)
+	j0 := sort.SearchInts(fc.distinct, i)
 	d := 0.0
-	for i := 0; i < len(tail); i++ {
-		// Only evaluate at the last occurrence of a repeated value.
-		if i+1 < len(tail) && tail[i+1] == tail[i] {
-			continue
-		}
-		x := tail[i]
-		var modelCDF float64
-		if discrete {
+	if discrete {
+		zden := fc.zeta.Get(alpha, xmin)
+		ladder := mathx.NewZetaLadder(alpha)
+		for j := len(fc.distinct) - 1; j >= j0; j-- {
+			pos := fc.distinct[j]
+			x := data[pos]
 			// P(X <= x) = 1 - ζ(α, x+1)/ζ(α, xmin)
-			modelCDF = 1 - mathx.HurwitzZeta(alpha, x+1)/zden
-		} else {
-			modelCDF = 1 - math.Pow(x/xmin, 1-alpha)
+			modelCDF := 1 - ladder.At(x+1)/zden
+			empCDF := float64(pos-i+1) / n
+			if diff := math.Abs(empCDF - modelCDF); diff > d {
+				d = diff
+			}
 		}
-		empCDF := float64(i+1) / n
+		return d
+	}
+	for j := j0; j < len(fc.distinct); j++ {
+		pos := fc.distinct[j]
+		x := data[pos]
+		modelCDF := 1 - math.Pow(x/xmin, 1-alpha)
+		empCDF := float64(pos-i+1) / n
 		if diff := math.Abs(empCDF - modelCDF); diff > d {
 			d = diff
 		}
@@ -275,9 +451,28 @@ func (f *Fit) CCDF(x float64) float64 {
 		return 1
 	}
 	if f.Discrete {
-		return mathx.HurwitzZeta(f.Alpha, math.Ceil(x)) / mathx.HurwitzZeta(f.Alpha, f.Xmin)
+		zden := f.zden
+		if zden == 0 { // hand-constructed fit; no precomputed denominator
+			zden = mathx.HurwitzZeta(f.Alpha, f.Xmin)
+		}
+		return mathx.HurwitzZeta(f.Alpha, math.Ceil(x)) / zden
 	}
 	return math.Pow(x/f.Xmin, 1-f.Alpha)
+}
+
+// GoFResult reports one bootstrap goodness-of-fit estimate.
+type GoFResult struct {
+	// P is the p-value: the fraction of successfully refitted replicates
+	// whose KS distance met or exceeded the observed fit's.
+	P float64
+	// B is the number of replicates attempted.
+	B int
+	// Exceed is the number of replicates with KS >= the observed KS.
+	Exceed int
+	// Dropped counts replicates whose refit failed (ErrTooFewPoints on a
+	// degenerate resample). They are excluded from the denominator —
+	// counting them as non-exceedances would silently bias P downward.
+	Dropped int
 }
 
 // GoodnessOfFit estimates the bootstrap p-value of the power-law hypothesis
@@ -293,7 +488,7 @@ func (f *Fit) CCDF(x float64) float64 {
 // GoodnessOfFit twice with the same generator returns the same p-value.
 // For a second independent estimate, pass a different generator (or Split).
 func (f *Fit) GoodnessOfFit(B int, rng *mathx.RNG) float64 {
-	return f.GoodnessOfFitWorkers(B, rng, 0)
+	return f.Bootstrap(B, rng, 0).P
 }
 
 // GoodnessOfFitWorkers is GoodnessOfFit with an explicit worker budget
@@ -302,42 +497,154 @@ func (f *Fit) GoodnessOfFit(B int, rng *mathx.RNG) float64 {
 // pure function of the fit, B and the rng state: bit-identical at every
 // worker count and schedule, and unaffected by other consumers of rng.
 func (f *Fit) GoodnessOfFitWorkers(B int, rng *mathx.RNG, workers int) float64 {
+	return f.Bootstrap(B, rng, workers).P
+}
+
+// Bootstrap runs the goodness-of-fit bootstrap and returns the full
+// accounting: p-value, exceedance count and how many replicates were
+// dropped because their refit failed. It shares GoodnessOfFitWorkers'
+// determinism contract. Replicates refit through per-worker reusable
+// scratch, so the steady-state path allocates nothing per replicate.
+func (f *Fit) Bootstrap(B int, rng *mathx.RNG, workers int) GoFResult {
 	if B <= 0 {
 		B = 100
 	}
-	i := sort.SearchFloat64s(f.sorted, f.Xmin)
+	i := f.tailStart()
 	body := f.sorted[:i]
-	nTail := f.N - i
-	pTail := float64(nTail) / float64(f.N)
-	// One replicate per chunk: each refit dominates the Derive cost, and an
-	// exceedance count is an integer, so any summation order is exact.
-	parts := parallel.ChunkReduce(B, 1, workers, func(lo, hi int) int {
-		exceed := 0
+	pTail := float64(f.N-i) / float64(f.N)
+	type part struct{ exceed, dropped int }
+	// One replicate per chunk: each refit dominates the Derive cost, and
+	// exceedance/drop counts are integers, so any summation order is exact.
+	parts := parallel.ChunkReduce(B, 1, workers, func(lo, hi int) part {
+		sc := gofScratchPool.Get().(*gofScratch)
+		var p part
 		for b := lo; b < hi; b++ {
-			r := rng.Derive("gof/" + strconv.Itoa(b))
-			data := make([]float64, f.N)
-			for j := range data {
-				if len(body) == 0 || r.Bool(pTail) {
-					data[j] = f.sample(r)
-				} else {
-					data[j] = body[r.Intn(len(body))]
-				}
-			}
-			ff, err := fit(data, f.Discrete, f.opts)
-			if err != nil {
+			ks, ok := f.replicateKS(b, rng, body, pTail, sc)
+			if !ok {
+				p.dropped++
 				continue
 			}
-			if ff.KS >= f.KS {
-				exceed++
+			if ks >= f.KS {
+				p.exceed++
 			}
 		}
-		return exceed
+		gofScratchPool.Put(sc)
+		return p
 	})
-	exceed := 0
+	res := GoFResult{B: B}
 	for _, p := range parts {
-		exceed += p
+		res.Exceed += p.exceed
+		res.Dropped += p.dropped
 	}
-	return float64(exceed) / float64(B)
+	if den := res.B - res.Dropped; den > 0 {
+		res.P = float64(res.Exceed) / float64(den)
+	} else {
+		res.P = math.NaN()
+	}
+	return res
+}
+
+// gofScratch is one worker's reusable bootstrap state. Everything a
+// replicate touches lives here, so the steady-state replicate path performs
+// zero heap allocations (guarded by TestReplicateSteadyStateAllocs).
+type gofScratch struct {
+	rng      mathx.RNG
+	label    []byte
+	data     []float64
+	counts   []int32
+	overflow []float64
+	core     fitCore
+}
+
+var gofScratchPool = sync.Pool{New: func() any { return new(gofScratch) }}
+
+// replicateKS draws and refits semiparametric replicate b, returning its KS
+// distance (ok=false when the refit failed). The replicate is a pure
+// function of (f, b, rng state): the derived stream, the draw order and the
+// refit are all deterministic, so results are identical whichever worker's
+// scratch runs it.
+func (f *Fit) replicateKS(b int, rng *mathx.RNG, body []float64, pTail float64, sc *gofScratch) (float64, bool) {
+	sc.label = append(sc.label[:0], "gof/"...)
+	sc.label = strconv.AppendInt(sc.label, int64(b), 10)
+	rng.DeriveInto(&sc.rng, sc.label)
+	r := &sc.rng
+	if cap(sc.data) < f.N {
+		sc.data = make([]float64, f.N)
+	}
+	data := sc.data[:f.N]
+	for j := range data {
+		if len(body) == 0 || r.Bool(pTail) {
+			data[j] = f.sample(r)
+		} else {
+			data[j] = body[r.Intn(len(body))]
+		}
+	}
+	sc.sortReplicate(data, f.Discrete)
+	sc.core.prepare(data)
+	res, err := sc.core.run(data, f.Discrete, f.opts)
+	if err != nil {
+		return 0, false
+	}
+	return res.ks, true
+}
+
+// countingSortSpan bounds the counting-sort bucket array for discrete
+// replicates: values below the span are bucket-counted, the rare larger
+// draws (a heavy tail's extremes) go through a comparison sort of the tiny
+// overflow slice. 64Ki buckets cover every realistic degree replicate while
+// keeping the per-replicate reset walk trivial.
+const countingSortSpan = 1 << 16
+
+// sortReplicate sorts replicate data ascending: comparison sort for
+// continuous data, counting sort for the bounded-integer bulk of discrete
+// data. The output is the sorted multiset either way, so the choice of path
+// can never change a fit.
+func (sc *gofScratch) sortReplicate(data []float64, discrete bool) {
+	if !discrete {
+		slices.Sort(data)
+		return
+	}
+	// Discrete replicates are positive integers by construction (empirical
+	// body values and ParetoInt draws); verify before trusting truncation,
+	// and fall back to the comparison sort if anything else shows up.
+	for _, x := range data {
+		if v := int(x); v <= 0 || float64(v) != x {
+			slices.Sort(data)
+			return
+		}
+	}
+	if sc.counts == nil {
+		sc.counts = make([]int32, countingSortSpan)
+	}
+	sc.overflow = sc.overflow[:0]
+	minV, maxV := countingSortSpan, -1
+	for _, x := range data {
+		v := int(x)
+		if v < countingSortSpan {
+			sc.counts[v]++
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		} else {
+			sc.overflow = append(sc.overflow, x)
+		}
+	}
+	idx := 0
+	for k := minV; k <= maxV; k++ {
+		for c := sc.counts[k]; c > 0; c-- {
+			data[idx] = float64(k)
+			idx++
+		}
+		sc.counts[k] = 0
+	}
+	if len(sc.overflow) > 0 {
+		// Every overflow value is >= countingSortSpan > every bucketed one.
+		slices.Sort(sc.overflow)
+		copy(data[idx:], sc.overflow)
+	}
 }
 
 // sample draws one value from the fitted tail distribution.

@@ -69,7 +69,13 @@ func (v *VuongResult) Favours() int {
 // CompareAlternative fits the alternative to the tail of f (same xmin,
 // truncated support) by maximum likelihood and runs the Vuong test.
 func (f *Fit) CompareAlternative(alt Alternative) (*VuongResult, error) {
-	tail := f.Tail()
+	return f.compareAlternative(f.tailView(), alt)
+}
+
+// compareAlternative is CompareAlternative over an already-materialized
+// tail view, so CompareAll shares one view across all three alternatives
+// instead of copying the tail per comparison. tail is read-only.
+func (f *Fit) compareAlternative(tail []float64, alt Alternative) (*VuongResult, error) {
 	n := len(tail)
 	if n < 3 {
 		return nil, ErrTooFewPoints
@@ -88,7 +94,7 @@ func (f *Fit) CompareAlternative(alt Alternative) (*VuongResult, error) {
 			plLL[i] = la - lx - f.Alpha*(math.Log(x)-lx)
 		}
 	}
-	altLL, params, err := alternativeLogLik(tail, f.Xmin, alt, f.Discrete)
+	altLL, params, err := alternativeLogLik(tail, f.Xmin, f.tailLogSum(f.tailStart()), alt, f.Discrete)
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +123,13 @@ func (f *Fit) CompareAlternative(alt Alternative) (*VuongResult, error) {
 
 // CompareAll runs the Vuong test against every supported alternative,
 // returning results keyed in order lognormal, exponential, poisson.
-// Degenerate comparisons are skipped.
+// Degenerate comparisons are skipped. All three comparisons share one tail
+// view into the fit's sorted data — the tail is never copied.
 func (f *Fit) CompareAll() []*VuongResult {
+	tail := f.tailView()
 	var out []*VuongResult
 	for _, alt := range []Alternative{AltLognormal, AltExponential, AltPoisson} {
-		if r, err := f.CompareAlternative(alt); err == nil {
+		if r, err := f.compareAlternative(tail, alt); err == nil {
 			out = append(out, r)
 		}
 	}
@@ -133,8 +141,9 @@ func (f *Fit) CompareAll() []*VuongResult {
 // discrete data the alternatives are discretized (probability mass on the
 // integer bins), matching Clauset et al.'s treatment — comparing a discrete
 // pmf against a continuous density would systematically mis-score ties at
-// small integers.
-func alternativeLogLik(tail []float64, xmin float64, alt Alternative, discrete bool) ([]float64, []float64, error) {
+// small integers. sumLogTail is Σ ln x over the tail (the fit's suffix-sum
+// view), which seeds the lognormal location estimate without another pass.
+func alternativeLogLik(tail []float64, xmin, sumLogTail float64, alt Alternative, discrete bool) ([]float64, []float64, error) {
 	n := len(tail)
 	ll := make([]float64, n)
 	switch alt {
@@ -174,12 +183,11 @@ func alternativeLogLik(tail []float64, xmin float64, alt Alternative, discrete b
 
 	case AltLognormal:
 		logs := make([]float64, n)
-		var mu0, var0 float64
 		for i, x := range tail {
 			logs[i] = math.Log(x)
-			mu0 += logs[i]
 		}
-		mu0 /= float64(n)
+		mu0 := sumLogTail / float64(n)
+		var var0 float64
 		for _, lx := range logs {
 			var0 += (lx - mu0) * (lx - mu0)
 		}

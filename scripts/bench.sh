@@ -8,13 +8,18 @@
 # vs. warm result cache.
 #
 #   sh scripts/bench.sh                 # writes BENCH_results.json
+#   sh scripts/bench.sh compare         # fresh run diffed against the
+#                                       # committed baseline; prints per-
+#                                       # benchmark deltas, writes nothing
 #   BENCHTIME=5x sh scripts/bench.sh    # more iterations
 #   OUT=/tmp/b.json sh scripts/bench.sh # alternate output path
 set -eu
 cd "$(dirname "$0")/.."
 
+MODE="${1:-record}"
 BENCHTIME="${BENCHTIME:-2x}"
 OUT="${OUT:-BENCH_results.json}"
+BASELINE="${BASELINE:-BENCH_results.json}"
 PATTERN='BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache'
 
 raw=$(mktemp)
@@ -26,26 +31,74 @@ trap 'rm -f "$raw" "$json"' EXIT
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . > "$raw"
 cat "$raw" >&2
 
-awk -v go_version="$(go version | awk '{print $3}')" \
-    -v benchtime="$BENCHTIME" '
-BEGIN { n = 0 }
-$1 ~ /^Benchmark/ && $4 == "ns/op" {
-    name[n] = $1; iters[n] = $2; ns[n] = $3; n++
-}
-END {
-    if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n"
-    printf "  \"go\": \"%s\",\n", go_version
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"results\": [\n"
-    for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
-            name[i], iters[i], ns[i], (i < n - 1 ? "," : "")
+case "$MODE" in
+record)
+    awk -v go_version="$(go version | awk '{print $3}')" \
+        -v benchtime="$BENCHTIME" '
+    BEGIN { n = 0 }
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name[n] = $1; iters[n] = $2; ns[n] = $3; n++
     }
-    printf "  ]\n"
-    printf "}\n"
-}' "$raw" > "$json"
-mv "$json" "$OUT"
-trap 'rm -f "$raw"' EXIT
-
-echo "wrote $OUT" >&2
+    END {
+        if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+        printf "{\n"
+        printf "  \"go\": \"%s\",\n", go_version
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"results\": [\n"
+        for (i = 0; i < n; i++) {
+            printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+                name[i], iters[i], ns[i], (i < n - 1 ? "," : "")
+        }
+        printf "  ]\n"
+        printf "}\n"
+    }' "$raw" > "$json"
+    mv "$json" "$OUT"
+    trap 'rm -f "$raw"' EXIT
+    echo "wrote $OUT" >&2
+    ;;
+compare)
+    # Diff the fresh run against the committed baseline: one line per
+    # benchmark with old/new ns/op and the delta (negative = faster).
+    # Baselines recorded on different hardware drift wholesale; the per-
+    # benchmark pattern is what matters.
+    [ -f "$BASELINE" ] || { echo "bench.sh: no baseline $BASELINE to compare against" >&2; exit 1; }
+    awk -v baseline="$BASELINE" '
+    # Pass 1: the baseline JSON (our own writer format — one result per line).
+    FILENAME == baseline {
+        if (match($0, /"name": "[^"]+"/)) {
+            name = substr($0, RSTART + 9, RLENGTH - 10)
+            if (match($0, /"ns_per_op": [0-9]+/))
+                base[name] = substr($0, RSTART + 13, RLENGTH - 13)
+        }
+        next
+    }
+    # Pass 2: the fresh `go test -bench` output.
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        fresh[$1] = $3
+        order[m++] = $1
+    }
+    END {
+        if (m == 0) { print "bench.sh: no fresh results parsed" > "/dev/stderr"; exit 1 }
+        printf "%-48s %14s %14s %9s\n", "benchmark", "baseline", "fresh", "delta"
+        worst = 0
+        for (i = 0; i < m; i++) {
+            name = order[i]
+            if (!(name in base)) {
+                printf "%-48s %14s %14.0f %9s\n", name, "(new)", fresh[name], "-"
+                continue
+            }
+            d = 100 * (fresh[name] - base[name]) / base[name]
+            if (d > worst) worst = d
+            printf "%-48s %14.0f %14.0f %+8.1f%%\n", name, base[name], fresh[name], d
+        }
+        for (name in base)
+            if (!(name in fresh))
+                printf "%-48s %14.0f %14s %9s\n", name, base[name], "(gone)", "-"
+        printf "worst regression: %+.1f%%\n", worst
+    }' "$BASELINE" "$raw"
+    ;;
+*)
+    echo "bench.sh: unknown mode '$MODE' (want: record or compare)" >&2
+    exit 1
+    ;;
+esac
