@@ -12,7 +12,10 @@ package elites
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -25,6 +28,7 @@ import (
 	"elites/internal/graph"
 	"elites/internal/mathx"
 	"elites/internal/powerlaw"
+	"elites/internal/serve"
 	"elites/internal/spectral"
 	"elites/internal/stats"
 	"elites/internal/text"
@@ -721,4 +725,67 @@ func BenchmarkAblationReciprocityDial(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- serving layer -----------------------------------------------------------
+
+// BenchmarkServeRequest contrasts report request latency through the full
+// serving stack — router, body memo, coalescer, admission gate, pipeline,
+// encoding — cold (fresh cache directory each iteration: the battery
+// computes) versus warm (one priming request, then every request serves
+// from the encoded-body memo without touching the pipeline). The warm
+// number is what steady-state production traffic pays per request;
+// scripts/bench.sh records both into BENCH_results.json.
+func BenchmarkServeRequest(b *testing.B) {
+	_, ds, activity, _ := fixtures(b)
+	newServer := func(dir string) *serve.Server {
+		s := serve.New(serve.Config{Options: core.Options{
+			BootstrapReps: 25, EigenK: 100, BetweennessSources: 128,
+			DistanceSources: 150, Seed: 23, CacheDir: dir,
+		}})
+		if err := s.RegisterDataset("bench", ds, activity, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	request := func(ts *httptest.Server) {
+		resp, err := ts.Client().Get(ts.URL + "/v1/datasets/bench/report")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("report: %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp(b.TempDir(), "servecold")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(newServer(dir))
+			b.StartTimer()
+			request(ts)
+			b.StopTimer()
+			ts.Close()
+			cache.Release(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		ts := httptest.NewServer(newServer(dir))
+		defer ts.Close()
+		defer cache.Release(dir)
+		request(ts) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request(ts)
+		}
+	})
 }

@@ -63,6 +63,7 @@ func main() {
 		timings    = flag.Bool("timings", false, "print a per-stage wall-clock table after the report")
 		cacheDir   = flag.String("cache", "", "directory for the per-stage result cache (warm re-runs skip the heavy stages)")
 		noCache    = flag.Bool("no-cache", false, "bypass the result cache even when -cache is set")
+		cacheMem   = flag.Int64("cache-mem", 0, "in-memory cache tier cap in bytes (0 = default 256 MiB); evictions show in the stderr cache summary")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
@@ -78,7 +79,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache)
+	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache, *cacheMem)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -101,7 +102,7 @@ func main() {
 	}
 }
 
-func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool) error {
+func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool, cacheMem int64) error {
 	var (
 		ds       *elites.Dataset
 		activity *elites.DailySeries
@@ -124,7 +125,7 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 	}
 	opts := elites.Options{
 		Seed: seed, Parallelism: parallel, Timings: timings,
-		CacheDir: cacheDir, NoCache: noCache,
+		CacheDir: cacheDir, NoCache: noCache, CacheMemBytes: cacheMem,
 	}
 	if fast {
 		opts.SkipEigen = true
@@ -147,9 +148,9 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 	if rep.Cache != nil {
 		// Stderr, so stdout stays byte-comparable between cold and warm
 		// runs (the CI smoke test relies on this).
-		fmt.Fprintf(os.Stderr, "eliteanalyze: cache %s: hits=%d %v misses=%d %v\n",
+		fmt.Fprintf(os.Stderr, "eliteanalyze: cache %s: hits=%d %v misses=%d %v evictions=%d\n",
 			rep.Cache.Dir, len(rep.Cache.Hits), rep.Cache.Hits,
-			len(rep.Cache.Misses), rep.Cache.Misses)
+			len(rep.Cache.Misses), rep.Cache.Misses, rep.Cache.Evictions)
 	}
 	if timings {
 		renderTimings(os.Stdout, rep.Timings)

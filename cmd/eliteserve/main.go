@@ -1,0 +1,161 @@
+// Command eliteserve serves the characterization engine over HTTP: it
+// registers datasets (saved dataset directories and/or elitegen-style
+// generation specs), then answers report queries through the coalescing,
+// cache-backed serving layer in internal/serve.
+//
+// Endpoints (see docs/ARCHITECTURE.md "The serving layer" and the README
+// endpoints table):
+//
+//	GET  /healthz                              liveness + dataset count
+//	GET  /metrics                              Prometheus text metrics
+//	GET  /v1/datasets                          registered datasets
+//	GET  /v1/datasets/{id}                     one dataset's summary row
+//	GET|POST /v1/datasets/{id}/report          full battery (?stages=, ?format=json|text)
+//	GET  /v1/datasets/{id}/stages/{stage}      one stage's result fragment
+//	GET  /v1/datasets/{id}/users/{rank}        per-user metrics by out-degree rank
+//	GET  /v1/jobs/{id}, /v1/jobs/{id}/result   async job status / result
+//
+// Identical concurrent requests coalesce onto one pipeline run; -cache
+// makes warm requests hydrate from the content-addressed result cache (the
+// same directory eliteanalyze -cache uses, so reports are byte-identical
+// between the two); -async-after bounds how long a cold POST holds the
+// connection before detaching into a job; the admission queue sheds
+// overload with 429.
+//
+// Usage:
+//
+//	elitegen -n 20000 -seed 42 -out ./dataset
+//	eliteserve -addr :8080 -data verified=./dataset -cache ~/.elites-cache
+//	curl localhost:8080/v1/datasets/verified/report?stages=summary,degree
+//
+//	eliteserve -gen demo=verified:10000:42        # no directory needed
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"elites"
+)
+
+// listFlag collects repeatable -data / -gen flags.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ", ") }
+
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		dataFlags listFlag
+		genFlags  listFlag
+	)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Uint64("seed", 42, "characterization seed (eliteanalyze's default, so served reports match its output)")
+		fast       = flag.Bool("fast", false, "skip eigenvalues, betweenness and bootstraps")
+		parallel   = flag.Int("parallel", 0, "max concurrent analysis stages per run (0 = all cores)")
+		cacheDir   = flag.String("cache", "", "directory for the per-stage result cache (warm requests skip the heavy stages)")
+		cacheMem   = flag.Int64("cache-mem", 0, "in-memory cache tier cap in bytes (0 = default 256 MiB)")
+		maxConc    = flag.Int("max-concurrent", 2, "pipeline runs executing at once")
+		maxQueue   = flag.Int("max-queue", 8, "runs waiting for a slot before requests are shed with 429 (-1 = no queue)")
+		asyncAfter = flag.Duration("async-after", 30*time.Second, "latency budget before a cold POST detaches into a job (0 = always synchronous)")
+		bodyCache  = flag.Int64("body-cache", 0, "encoded-response-body memo cap in bytes (0 = default 64 MiB, -1 = disable)")
+	)
+	flag.Var(&dataFlags, "data", "register a dataset directory as id=path (repeatable)")
+	flag.Var(&genFlags, "gen", "register a generated dataset as id=kind:n:seed, kind verified|twitter (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *fast, *parallel, *cacheDir, *cacheMem,
+		*maxConc, *maxQueue, *asyncAfter, *bodyCache, dataFlags, genFlags); err != nil {
+		fmt.Fprintln(os.Stderr, "eliteserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cacheMem int64,
+	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64, dataFlags, genFlags []string) error {
+	opts := elites.Options{
+		Seed: seed, Parallelism: parallel,
+		CacheDir: cacheDir, CacheMemBytes: cacheMem,
+	}
+	if fast {
+		opts.SkipEigen = true
+		opts.SkipBetweenness = true
+		opts.SkipBootstrap = true
+		opts.DistanceSources = 100
+	}
+	srv := elites.NewServer(elites.ServerConfig{
+		Options:        opts,
+		MaxConcurrent:  maxConc,
+		MaxQueue:       maxQueue,
+		AsyncAfter:     asyncAfter,
+		BodyCacheBytes: bodyCache,
+	})
+
+	for _, spec := range dataFlags {
+		id, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-data %q: want id=path", spec)
+		}
+		if err := srv.RegisterDir(id, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eliteserve: registered %s from %s\n", id, path)
+	}
+	for _, spec := range genFlags {
+		id, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-gen %q: want id=kind:n:seed", spec)
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("-gen %q: want id=kind:n:seed", spec)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-gen %q: bad n %q", spec, parts[1])
+		}
+		gseed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("-gen %q: bad seed %q", spec, parts[2])
+		}
+		start := time.Now()
+		if err := srv.RegisterGenerated(id, parts[0], n, gseed); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eliteserve: generated %s (%s, n=%d, seed=%d) in %v\n",
+			id, parts[0], n, gseed, time.Since(start).Round(time.Millisecond))
+	}
+	if len(srv.DatasetIDs()) == 0 {
+		return fmt.Errorf("no datasets registered (use -data id=path and/or -gen id=kind:n:seed)")
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "eliteserve: serving %v on %s\n", srv.DatasetIDs(), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "eliteserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

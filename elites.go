@@ -24,6 +24,12 @@
 //     With Options.CacheDir set, the expensive stages are served from a
 //     content-addressed result cache on re-runs (Report.Cache reports the
 //     traffic), rendering byte-identically to a cold run.
+//   - an embeddable HTTP serving layer (NewServer; cmd/eliteserve wraps
+//     it) that answers report/stage/per-user queries as JSON or rendered
+//     text, coalesces identical concurrent requests onto one pipeline
+//     run, cancels runs every client abandoned, sheds overload with 429,
+//     detaches slow cold runs into pollable jobs, and exposes
+//     Prometheus-style metrics.
 //
 // The execution model (stage graph, determinism contract, shared worker
 // cap) is documented in docs/ARCHITECTURE.md.
@@ -48,6 +54,7 @@ import (
 	"elites/internal/graph"
 	"elites/internal/mathx"
 	"elites/internal/powerlaw"
+	"elites/internal/serve"
 	"elites/internal/spectral"
 	"elites/internal/stats"
 	"elites/internal/store"
@@ -210,6 +217,9 @@ type (
 	CacheReport = core.CacheReport
 	// Fingerprint is the structural signature of a network.
 	Fingerprint = core.Fingerprint
+	// ReportView is the JSON-safe projection of a Report (NaN-tolerant,
+	// deterministic bytes) that the serving layer responds with.
+	ReportView = core.ReportView
 )
 
 // Pipeline entry points.
@@ -232,6 +242,32 @@ var (
 	AnalyzeCategories = core.AnalyzeCategories
 	// AnalyzeMutualCore validates the §IV-C core-reciprocity conjecture.
 	AnalyzeMutualCore = core.AnalyzeMutualCore
+	// NewReportView projects a Report into its JSON view; StageView
+	// extracts one stage's fragment.
+	NewReportView = core.NewReportView
+	StageView     = core.StageView
+)
+
+// --- Serving --------------------------------------------------------------------
+
+// Re-exported serving types (cmd/eliteserve is a thin wrapper over these;
+// embed the Server anywhere an http.Handler goes).
+type (
+	// Server is the HTTP serving layer over the characterization engine:
+	// request coalescing, bounded admission, async jobs, /metrics.
+	Server = serve.Server
+	// ServerConfig tunes a Server.
+	ServerConfig = serve.Config
+)
+
+// Serving entry points.
+var (
+	// NewServer builds the HTTP serving layer; register datasets with
+	// Server.RegisterDataset / RegisterDir / RegisterGenerated, then mount
+	// it as an http.Handler.
+	NewServer = serve.New
+	// ErrServerBusy is what shed requests fail with (HTTP 429).
+	ErrServerBusy = serve.ErrBusy
 )
 
 // --- Statistics toolkits ---------------------------------------------------------

@@ -124,8 +124,10 @@ func checksum(data []byte) uint64 {
 type Stats struct {
 	Hits       uint64 // memory or disk hits
 	Misses     uint64
+	Evictions  uint64 // memory-tier entries dropped to stay under the cap
 	MemEntries int
 	MemBytes   int64
+	MaxBytes   int64 // current memory-tier capacity
 }
 
 // DefaultMemBytes caps the in-memory tier per cache instance.
@@ -136,13 +138,14 @@ const DefaultMemBytes = 256 << 20
 type Cache struct {
 	dir string
 
-	mu       sync.Mutex
-	mem      map[string]*list.Element
-	lru      *list.List // front = most recent; values are *entry
-	memBytes int64
-	maxBytes int64
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	mem       map[string]*list.Element
+	lru       *list.List // front = most recent; values are *entry
+	memBytes  int64
+	maxBytes  int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type entry struct {
@@ -206,6 +209,22 @@ func Release(dir string) {
 // Dir returns the cache's on-disk root.
 func (c *Cache) Dir() string { return c.dir }
 
+// SetMaxBytes resizes the in-memory tier's capacity (n <= 0 restores
+// DefaultMemBytes), evicting least-recently-used entries immediately if the
+// resident set exceeds the new cap. Because New shares one instance per
+// directory, the new capacity applies to every holder of that directory's
+// cache — last caller wins, which is the sensible semantic for a process
+// hosting several Characterizers over one cache.
+func (c *Cache) SetMaxBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMemBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	c.evictOverCap()
+}
+
 // Get returns the payload stored under key, consulting the memory tier
 // first, then disk (promoting disk hits into memory). The returned slice
 // must not be modified. ok is false on any miss, including a corrupted or
@@ -254,12 +273,20 @@ func (c *Cache) insert(key string, data []byte) {
 		c.mem[key] = c.lru.PushFront(&entry{key: key, data: data})
 		c.memBytes += int64(len(data))
 	}
+	c.evictOverCap()
+}
+
+// evictOverCap drops LRU entries until the resident set fits the cap (the
+// most recent entry always stays, so a single oversized payload still
+// serves). Callers hold mu.
+func (c *Cache) evictOverCap() {
 	for c.memBytes > c.maxBytes && c.lru.Len() > 1 {
 		el := c.lru.Back()
 		e := el.Value.(*entry)
 		c.lru.Remove(el)
 		delete(c.mem, e.key)
 		c.memBytes -= int64(len(e.data))
+		c.evictions++
 	}
 }
 
@@ -278,7 +305,10 @@ func (c *Cache) DropMemory() {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, MemEntries: c.lru.Len(), MemBytes: c.memBytes}
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		MemEntries: c.lru.Len(), MemBytes: c.memBytes, MaxBytes: c.maxBytes,
+	}
 }
 
 // --- disk tier ---------------------------------------------------------------

@@ -116,7 +116,7 @@ func TestCorruptedEntriesAreMisses(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	dir := t.TempDir()
 	c := newTestCache(dir)
-	c.maxBytes = 64 // tiny cap to force eviction
+	c.SetMaxBytes(64) // tiny cap to force eviction
 	big := bytes.Repeat([]byte{7}, 30)
 	c.Put("a", big)
 	c.Put("b", big)
@@ -133,6 +133,82 @@ func TestLRUEviction(t *testing.T) {
 	// The evicted entry is still a hit via disk.
 	if _, ok := c.Get("b"); !ok {
 		t.Fatal("evicted entry lost from disk tier")
+	}
+	if s := c.Stats(); s.Evictions == 0 || s.MaxBytes != 64 {
+		t.Fatalf("Stats = %+v, want evictions counted under the 64-byte cap", s)
+	}
+}
+
+// TestSetMaxBytesShrinkEvictsImmediately: resizing below the resident set
+// evicts LRU entries at once rather than waiting for the next Put, and a
+// non-positive cap restores the default.
+func TestSetMaxBytesShrinkEvictsImmediately(t *testing.T) {
+	c := newTestCache(t.TempDir())
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{1}, 100))
+	}
+	c.SetMaxBytes(150)
+	s := c.Stats()
+	if s.MemBytes > 150 || s.MemEntries != 1 || s.Evictions != 3 {
+		t.Fatalf("after shrink: %+v", s)
+	}
+	c.SetMaxBytes(0)
+	if s := c.Stats(); s.MaxBytes != DefaultMemBytes {
+		t.Fatalf("cap after reset = %d, want default", s.MaxBytes)
+	}
+}
+
+// TestConcurrentCachersSharedDir hammers one cache directory from two
+// distinct Cacher instances (forced apart via Release, the way two server
+// workers on separate registries would share a dir) plus the disk tier,
+// under the race detector: every write must stay readable and untorn from
+// both instances.
+func TestConcurrentCachersSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestCache(dir)
+	Release(dir)
+	b := newTestCache(dir)
+	defer Release(dir)
+	if a == b {
+		t.Fatal("want two distinct instances over one directory")
+	}
+	b.SetMaxBytes(1 << 10) // small cap so b also exercises eviction
+
+	payload := func(k int) []byte {
+		return bytes.Repeat([]byte{byte(k)}, 64+k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		c := a
+		if w%2 == 1 {
+			c = b
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				k := (w + j) % 6
+				key := fmt.Sprintf("shared-%d", k)
+				c.Put(key, payload(k))
+				if got, ok := c.Get(key); ok && !bytes.Equal(got, payload(k)) {
+					t.Errorf("torn read on %s", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Whatever instance reads last, every key must be served (memory or
+	// disk) with the exact bytes written.
+	for k := 0; k < 6; k++ {
+		key := fmt.Sprintf("shared-%d", k)
+		for _, c := range []*Cache{a, b} {
+			got, ok := c.Get(key)
+			if !ok || !bytes.Equal(got, payload(k)) {
+				t.Fatalf("key %s lost or torn (ok=%v)", key, ok)
+			}
+		}
 	}
 }
 

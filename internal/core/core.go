@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -94,6 +95,17 @@ type Options struct {
 	CacheDir string
 	// NoCache disables the result cache even when CacheDir is set.
 	NoCache bool
+	// CacheMemBytes caps the cache's in-memory LRU tier (0 keeps
+	// cache.DefaultMemBytes). The cap applies to the per-directory shared
+	// instance, so the last Characterizer to set it wins for every holder
+	// of that directory — evictions are reported in Report.Cache.
+	CacheMemBytes int64
+	// StageObserver, when non-nil, is called once per executed stage as it
+	// finishes (cache hits included), concurrently when stages overlap.
+	// It must not block: the pipeline's workers call it inline. Serving
+	// layers use it for live progress on long runs; it never affects
+	// results and never enters cache keys.
+	StageObserver func(StageTiming)
 }
 
 // Pipeline stage names, in canonical (paper) order.
@@ -143,6 +155,10 @@ type CacheReport struct {
 	// order; Misses lists cached stages that ran and stored their result.
 	Hits   []string
 	Misses []string
+	// Evictions is the shared cache instance's cumulative memory-tier
+	// eviction count at the end of the run (process-lifetime, not
+	// per-run: the instance is shared per directory).
+	Evictions uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -275,6 +291,15 @@ func NewCharacterizer(opts Options) *Characterizer {
 // from an RNG stream derived from Options.Seed and the stage name, so the
 // report is bit-identical whatever the parallelism or schedule.
 func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySeries) (*Report, error) {
+	return c.RunContext(context.Background(), ds, activity)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the stage
+// graph stops scheduling (in-flight stages finish, nothing further starts)
+// and the error wraps ctx.Err(). A server threads the http.Request context
+// here so abandoned requests stop burning workers mid-battery; cancellation
+// is stage-granular — see internal/pipeline.
+func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, activity *timeseries.DailySeries) (*Report, error) {
 	if ds == nil || ds.Graph == nil {
 		return nil, ErrNoData
 	}
@@ -293,6 +318,9 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 	if c.opts.CacheDir != "" && !c.opts.NoCache {
 		if cc, err := cache.New(c.opts.CacheDir); err == nil {
 			rcache = cc
+			if c.opts.CacheMemBytes > 0 {
+				rcache.SetMaxBytes(c.opts.CacheMemBytes)
+			}
 			dsDigest = store.DatasetDigest(ds, activity)
 		}
 	}
@@ -472,7 +500,12 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 	if rcache != nil {
 		popts.Cache = rcache
 	}
-	timings, err := pipeline.Run(stages, popts)
+	if obs := c.opts.StageObserver; obs != nil {
+		popts.Observe = func(tm pipeline.Timing) {
+			obs(StageTiming{Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit})
+		}
+	}
+	timings, err := pipeline.RunContext(ctx, stages, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +519,7 @@ func (c *Characterizer) Run(ds *twitter.Dataset, activity *timeseries.DailySerie
 		}
 	}
 	if rcache != nil {
-		cr := &CacheReport{Dir: rcache.Dir()}
+		cr := &CacheReport{Dir: rcache.Dir(), Evictions: rcache.Stats().Evictions}
 		for i, tm := range timings {
 			if stages[i].CacheKey == "" || tm.Skipped {
 				continue

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJSONFloatMarshal(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.NaN(), "null"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+		{2.74, "2.74"},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(JSONFloat(c.in))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("marshal %v = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestReportViewMarshalsAndIsDeterministic runs the fast battery, projects
+// the report, and asserts the view marshals (despite the NaN GoFP from
+// skipped bootstraps), round-trips as JSON, marshals to identical bytes
+// twice, and carries the sections the run produced.
+func TestReportViewMarshalsAndIsDeterministic(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	opts := fastOptions()
+	opts.SkipBootstrap = true // forces GoFP = NaN through the view
+	rep, err := NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewReportView(rep)
+	b1, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("view must marshal even with NaN fields: %v", err)
+	}
+	b2, err := json.Marshal(NewReportView(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("view marshaling is not deterministic")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b1, &decoded); err != nil {
+		t.Fatalf("view JSON does not parse: %v", err)
+	}
+	for _, section := range []string{"summary", "basic", "degree", "reciprocity",
+		"distances", "bios", "histograms", "centrality", "mutual_core", "activity"} {
+		if _, ok := decoded[section]; !ok {
+			t.Errorf("section %q missing from view JSON", section)
+		}
+	}
+	// The NaN GoFP must surface as null, not as a marshal failure.
+	deg := decoded["degree"].(map[string]any)
+	if v, ok := deg["gof_p"]; !ok || v != nil {
+		t.Fatalf("degree.gof_p = %v, want null", v)
+	}
+	if deg["alpha"] == nil {
+		t.Fatal("degree.alpha should be a number")
+	}
+}
+
+// TestStageViewFragments asserts each stage maps to the matching subtree of
+// the full view and unknown stages error.
+func TestStageViewFragments(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	rep, err := NewCharacterizer(fastOptions()).Run(ds, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range StageNames() {
+		frag, err := StageView(rep, stage)
+		if err != nil {
+			t.Fatalf("StageView(%s): %v", stage, err)
+		}
+		if _, err := json.Marshal(frag); err != nil {
+			t.Fatalf("stage %s fragment does not marshal: %v", stage, err)
+		}
+	}
+	sv, err := StageView(rep, StageSummary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.(*SummaryView).Nodes != rep.Summary.Nodes {
+		t.Fatal("summary fragment does not match the report")
+	}
+	if _, err := StageView(rep, "nope"); err == nil {
+		t.Fatal("unknown stage should error")
+	}
+}
+
+// TestRunContextCancellation cancels mid-run via the stage observer: the
+// run must return an error matching context.Canceled instead of a report.
+func TestRunContextCancellation(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	ctx, cancel := context.WithCancel(context.Background())
+	var observed int32
+	opts := fastOptions()
+	opts.Parallelism = 1
+	opts.StageObserver = func(StageTiming) {
+		if atomic.AddInt32(&observed, 1) == 1 {
+			cancel() // abandon the battery after the first completed stage
+		}
+	}
+	rep, err := NewCharacterizer(opts).RunContext(ctx, ds, activity)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("cancelled run should not return a report")
+	}
+	// Stage-granular cancellation: strictly fewer stages executed than the
+	// full battery (13 stages on this dataset).
+	if n := atomic.LoadInt32(&observed); n >= 13 {
+		t.Fatalf("observed %d stages after cancellation, want fewer than the full battery", n)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context runs nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	p, ds := testPlatform(t)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var observed int32
+	opts := fastOptions()
+	opts.StageObserver = func(StageTiming) { atomic.AddInt32(&observed, 1) }
+	if _, err := NewCharacterizer(opts).RunContext(ctx, ds, activity); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if atomic.LoadInt32(&observed) != 0 {
+		t.Fatal("no stage should execute under a pre-cancelled context")
+	}
+}
+
+// TestValueSectionPresenceFollowsTimings: on timed reports the value-typed
+// sections (summary, basic, reciprocity) are present exactly when their
+// stage ran — a legitimately zero reciprocity still serves as 0 — and on
+// untimed reports the zero-value heuristic applies.
+func TestValueSectionPresenceFollowsTimings(t *testing.T) {
+	timed := &Report{
+		Reciprocity: 0,
+		Timings:     []StageTiming{{Name: StageReciprocity}},
+	}
+	v := NewReportView(timed)
+	if v.Reciprocity == nil || *v.Reciprocity != 0 {
+		t.Fatalf("timed zero reciprocity should serve as 0, got %v", v.Reciprocity)
+	}
+	if v.Summary != nil || v.Basic != nil {
+		t.Fatal("sections whose stages did not run must stay absent")
+	}
+	untimed := &Report{Reciprocity: 0}
+	if v := NewReportView(untimed); v.Reciprocity != nil {
+		t.Fatal("untimed zero reciprocity is indistinguishable from not-run and must be omitted")
+	}
+}
+
+// TestViewStages: components' servable view needs the summary stage.
+func TestViewStages(t *testing.T) {
+	got := ViewStages(StageComponents)
+	if len(got) != 2 || got[0] != StageComponents || got[1] != StageSummary {
+		t.Fatalf("ViewStages(components) = %v", got)
+	}
+	if got := ViewStages(StageDegree); len(got) != 1 || got[0] != StageDegree {
+		t.Fatalf("ViewStages(degree) = %v", got)
+	}
+}

@@ -17,9 +17,16 @@
 // hydrates the stage's outputs instead of running it, which is how warm
 // re-runs of the characterization battery skip the expensive analyses. See
 // internal/cache for the content-addressed key discipline.
+//
+// RunContext accepts a context and stops scheduling at stage granularity
+// when it is cancelled: stages already executing run to completion (their
+// closures have no cancellation points), but no further stage starts, which
+// is what lets a serving layer abandon a battery the client stopped waiting
+// for without burning every remaining worker-hour.
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -81,11 +88,22 @@ type Options struct {
 	Only []string
 	// Cache, when non-nil, serves stages that declare a CacheKey.
 	Cache Cacher
+	// Observe, when non-nil, is called once per executed stage as it
+	// finishes (cache hits included; deselected, dependency-skipped and
+	// cancellation-skipped stages never reach it). Concurrent stages may
+	// invoke it concurrently; it must not block for long — the scheduler's
+	// workers call it inline. Serving layers use it for live progress.
+	Observe func(Timing)
 }
 
 // ErrDependencySkipped wraps the error recorded for a stage that was skipped
 // because one of its (possibly transitive) dependencies failed.
 var ErrDependencySkipped = errors.New("pipeline: dependency failed")
+
+// ErrCanceled wraps the error recorded for a stage that never started
+// because the run's context was cancelled. RunContext's returned error also
+// matches the context's own error (context.Canceled / DeadlineExceeded).
+var ErrCanceled = errors.New("pipeline: run cancelled")
 
 // Validate checks the graph for duplicate names, unknown dependencies and
 // cycles without running anything.
@@ -189,6 +207,16 @@ func selectStages(stages []Stage, idx map[string]int, only []string) ([]bool, er
 // error (dependency skips are not doubled in). Run validates the graph
 // first, so a malformed graph fails before any stage executes.
 func Run(stages []Stage, opts Options) ([]Timing, error) {
+	return RunContext(context.Background(), stages, opts)
+}
+
+// RunContext is Run with cancellation: once ctx is cancelled no further
+// stage starts. Stages already executing finish normally and keep their
+// results; stages that never started are marked Skipped with an error
+// wrapping ErrCanceled, and the returned error wraps ctx.Err() exactly once
+// (so errors.Is(err, context.Canceled) works) rather than once per
+// unstarted stage.
+func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, error) {
 	idx, err := indexStages(stages)
 	if err != nil {
 		return nil, err
@@ -240,6 +268,7 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 		wg     sync.WaitGroup
 		ready  = make(chan int, len(stages))
 		failed = make([]bool, len(stages))
+		closed = false
 	)
 
 	// finish marks stage i complete (ok=false on failure), releasing or
@@ -265,7 +294,10 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 				}
 			}
 		}
-		if remaining == 0 {
+		// Guarded: when a cascade above closed the channel already, this
+		// outer frame also observes remaining == 0 and must not re-close.
+		if remaining == 0 && !closed {
+			closed = true
 			close(ready)
 		}
 	}
@@ -283,6 +315,17 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 		go func() {
 			defer wg.Done()
 			for i := range ready {
+				if ctx.Err() != nil {
+					// Cancelled: don't start the stage, but still flow it
+					// through finish so dependents cascade and the ready
+					// channel drains to termination.
+					mu.Lock()
+					timings[i].Err = fmt.Errorf("%w: stage %q not started: %v",
+						ErrCanceled, stages[i].Name, ctx.Err())
+					finish(i, false)
+					mu.Unlock()
+					continue
+				}
 				start := time.Now()
 				hit, err := execute(&stages[i], opts.Cache)
 				mu.Lock()
@@ -290,8 +333,12 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 				timings[i].Skipped = false
 				timings[i].CacheHit = hit
 				timings[i].Err = err
+				tm := timings[i]
 				finish(i, err == nil)
 				mu.Unlock()
+				if opts.Observe != nil {
+					opts.Observe(tm)
+				}
 			}
 		}()
 	}
@@ -299,9 +346,14 @@ func Run(stages []Stage, opts Options) ([]Timing, error) {
 
 	var errs []error
 	for i := range timings {
-		if timings[i].Err != nil && !errors.Is(timings[i].Err, ErrDependencySkipped) {
+		if timings[i].Err != nil &&
+			!errors.Is(timings[i].Err, ErrDependencySkipped) &&
+			!errors.Is(timings[i].Err, ErrCanceled) {
 			errs = append(errs, fmt.Errorf("stage %q: %w", stages[i].Name, timings[i].Err))
 		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		errs = append(errs, fmt.Errorf("%w: %w", ErrCanceled, cerr))
 	}
 	return timings, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -354,5 +355,119 @@ func TestCacheFailedStageNotStored(t *testing.T) {
 	}
 	if cache.puts != 0 {
 		t.Fatal("failed stage must not be cached")
+	}
+}
+
+// TestCancellationStopsScheduling cancels the context from inside the first
+// stage of a chain: the running stage completes (and keeps its result), but
+// no dependent starts, every unstarted stage is marked with ErrCanceled, and
+// the run error matches context.Canceled exactly once.
+func TestCancellationStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	stages := []Stage{
+		{Name: "a", Run: func() error {
+			atomic.AddInt32(&ran, 1)
+			cancel()
+			return nil
+		}},
+		{Name: "b", Deps: []string{"a"}, Run: func() error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		}},
+		{Name: "c", Deps: []string{"b"}, Run: func() error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		}},
+	}
+	timings, err := RunContext(ctx, stages, Options{Parallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 1 {
+		t.Fatalf("ran %d stages, want 1 (only the cancelling stage)", got)
+	}
+	if timings[0].Skipped || timings[0].Err != nil {
+		t.Fatalf("stage a should have completed: %+v", timings[0])
+	}
+	for _, i := range []int{1, 2} {
+		if !timings[i].Skipped {
+			t.Fatalf("stage %s should be skipped", timings[i].Name)
+		}
+		// b is cancellation-skipped; c cascades as either a dependency skip
+		// or a cancellation skip depending on which the scheduler saw first.
+		if !errors.Is(timings[i].Err, ErrCanceled) && !errors.Is(timings[i].Err, ErrDependencySkipped) {
+			t.Fatalf("stage %s err = %v", timings[i].Name, timings[i].Err)
+		}
+	}
+	// The single joined ctx error must not be repeated per stage.
+	if n := strings.Count(err.Error(), context.Canceled.Error()); n < 1 {
+		t.Fatalf("err %q should mention the context error", err)
+	}
+}
+
+// TestPreCancelledContextRunsNothing: a context cancelled before RunContext
+// is called must not execute any stage.
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	stages := []Stage{
+		{Name: "a", Run: func() error { atomic.AddInt32(&ran, 1); return nil }},
+		{Name: "b", Run: func() error { atomic.AddInt32(&ran, 1); return nil }},
+	}
+	timings, err := RunContext(ctx, stages, Options{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Fatal("no stage should run under a pre-cancelled context")
+	}
+	for _, tm := range timings {
+		if !tm.Skipped || !errors.Is(tm.Err, ErrCanceled) {
+			t.Fatalf("stage %s: %+v", tm.Name, tm)
+		}
+	}
+}
+
+// TestObserverSeesEveryExecutedStage: Observe fires once per executed stage
+// (cache hits included), never for deselected or dependency-skipped ones.
+func TestObserverSeesEveryExecutedStage(t *testing.T) {
+	cache := newMapCache()
+	cache.Put("hit", []byte("x"))
+	boom := errors.New("boom")
+	stages := []Stage{
+		{Name: "ok", Run: func() error { return nil }},
+		{Name: "cached", Run: func() error { t.Error("cached stage must not run"); return nil },
+			CacheKey: "hit",
+			Encode:   func() ([]byte, error) { return nil, nil },
+			Decode:   func([]byte) error { return nil }},
+		{Name: "fail", Run: func() error { return boom }},
+		{Name: "skipped", Deps: []string{"fail"}, Run: func() error { return nil }},
+	}
+	var mu sync.Mutex
+	seen := map[string]Timing{}
+	_, err := Run(stages, Options{Cache: cache, Observe: func(tm Timing) {
+		mu.Lock()
+		seen[tm.Name] = tm
+		mu.Unlock()
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("observed %v, want ok/cached/fail", seen)
+	}
+	if !seen["cached"].CacheHit {
+		t.Fatal("cached stage should report CacheHit to the observer")
+	}
+	if seen["fail"].Err == nil {
+		t.Fatal("failed stage should reach the observer with its error")
+	}
+	if _, ok := seen["skipped"]; ok {
+		t.Fatal("dependency-skipped stage must not reach the observer")
 	}
 }

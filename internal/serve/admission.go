@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBusy is returned (and mapped to HTTP 429) when the admission queue is
+// full: every run slot is busy and the bounded wait queue is at capacity.
+var ErrBusy = errors.New("serve: server busy, admission queue full")
+
+// admission bounds how much characterization work the server accepts:
+// at most maxConcurrent pipeline runs execute at once, at most maxQueue
+// more wait for a slot, and anything beyond that is shed immediately with
+// ErrBusy instead of accumulating unbounded goroutines. Coalesced requests
+// count as one admission (the coalescer sits in front of the gate).
+type admission struct {
+	running chan struct{} // capacity = maxConcurrent
+	queued  chan struct{} // capacity = maxConcurrent + maxQueue
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		running: make(chan struct{}, maxConcurrent),
+		queued:  make(chan struct{}, maxConcurrent+maxQueue),
+	}
+}
+
+// acquire claims a run slot, waiting in the bounded queue if necessary.
+// It returns ErrBusy when the queue itself is full (shed immediately — the
+// caller maps this to 429) and ctx.Err() if the caller gives up while
+// queued. On nil error the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queued <- struct{}{}:
+	default:
+		return ErrBusy
+	}
+	select {
+	case a.running <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.queued
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.running
+	<-a.queued
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// bodyCache memoizes encoded response bodies by coalescer key. Datasets
+// are immutable after registration and result-shaping options are fixed at
+// server construction, so a body is a constant for its key — there is no
+// invalidation, only LRU eviction under a byte cap. This is what makes
+// warm traffic O(memory read + socket write): without it every warm
+// request would still re-run the battery (cache-hydrated but re-encoded,
+// hundreds of milliseconds at paper scale) even when the bytes cannot
+// change.
+type bodyCache struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent; values are *bodyEntry
+	bytes    int64
+	maxBytes int64
+}
+
+type bodyEntry struct {
+	key  string
+	body []byte
+}
+
+// newBodyCache builds a memo capped at maxBytes (<= 0 disables: get always
+// misses, put is a no-op).
+func newBodyCache(maxBytes int64) *bodyCache {
+	return &bodyCache{
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		maxBytes: maxBytes,
+	}
+}
+
+func (b *bodyCache) get(key string) ([]byte, bool) {
+	if b.maxBytes <= 0 {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.entries[key]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(el)
+	return el.Value.(*bodyEntry).body, true
+}
+
+func (b *bodyCache) put(key string, body []byte) {
+	if b.maxBytes <= 0 || int64(len(body)) > b.maxBytes {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.entries[key]; ok {
+		// Concurrent coalesced writers store identical bytes; refresh.
+		b.lru.MoveToFront(el)
+		return
+	}
+	b.entries[key] = b.lru.PushFront(&bodyEntry{key: key, body: body})
+	b.bytes += int64(len(body))
+	for b.bytes > b.maxBytes && b.lru.Len() > 1 {
+		el := b.lru.Back()
+		e := el.Value.(*bodyEntry)
+		b.lru.Remove(el)
+		delete(b.entries, e.key)
+		b.bytes -= int64(len(e.body))
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// coalesce.go is the server's single-flight layer: N identical concurrent
+// requests — same (dataset digest, options digest) identity the result
+// cache keys on — trigger exactly one pipeline run and share its encoded
+// body. Unlike a plain singleflight, each in-flight run owns a context
+// that is cancelled only when its last remaining waiter abandons, so a
+// popular run survives individual disconnects but a run nobody is waiting
+// for stops burning workers at the next stage boundary.
+
+// flight deduplicates concurrent executions by key.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one in-flight (or just-finished) execution.
+type call struct {
+	waiters int                // live waiters; last one out cancels the run
+	cancel  context.CancelFunc // cancels the run's context
+	done    chan struct{}      // closed after body/err are set
+	body    []byte
+	err     error
+	prog    *progress // live per-stage progress, shared with job status
+}
+
+func newFlight() *flight {
+	return &flight{calls: map[string]*call{}}
+}
+
+// Do returns the body produced by fn for key, starting fn in a new
+// goroutine if no identical execution is in flight, otherwise joining the
+// existing one. fn receives a context that is cancelled when every waiter
+// for this key has gone away; it must return promptly after that.
+//
+// The joined return reports whether this caller shared another caller's
+// run. When the caller's own ctx is cancelled the call returns ctx.Err()
+// immediately (the run keeps going for any remaining waiters). A joiner
+// that receives a cancellation error from a run its own context did not
+// cause (it piled onto a call whose waiters all left) retries on a fresh
+// call rather than failing spuriously.
+func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *progress) ([]byte, error)) (body []byte, joined bool, err error) {
+	for {
+		f.mu.Lock()
+		c, ok := f.calls[key]
+		if !ok {
+			runCtx, cancel := context.WithCancel(context.Background())
+			c = &call{cancel: cancel, done: make(chan struct{}), prog: newProgress()}
+			f.calls[key] = c
+			go func() {
+				b, e := fn(runCtx, c.prog)
+				c.body, c.err = b, e
+				// Remove from the map before signalling completion so a
+				// retrying waiter is guaranteed a fresh call.
+				f.mu.Lock()
+				delete(f.calls, key)
+				f.mu.Unlock()
+				close(c.done)
+				cancel()
+			}()
+		}
+		c.waiters++
+		f.mu.Unlock()
+
+		select {
+		case <-c.done:
+			if ok && c.err != nil && errors.Is(c.err, context.Canceled) && ctx.Err() == nil {
+				// We joined a run that was cancelled by *other* waiters
+				// leaving; our request is still live, so run it afresh.
+				continue
+			}
+			return c.body, ok, c.err
+		case <-ctx.Done():
+			f.mu.Lock()
+			c.waiters--
+			if c.waiters == 0 {
+				c.cancel()
+			}
+			f.mu.Unlock()
+			return nil, ok, ctx.Err()
+		}
+	}
+}
+
+// peek returns the in-flight call for key, if any — the job layer uses it
+// to surface live progress.
+func (f *flight) peek(key string) (*call, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.calls[key]
+	return c, ok
+}

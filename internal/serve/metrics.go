@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"elites/internal/core"
+)
+
+// metrics.go is a dependency-free Prometheus-text-format exposition of the
+// server's traffic: request counts by route and status, a request latency
+// histogram, pipeline-run accounting (started, coalesced, shed, cancelled)
+// and the stage-result-cache traffic accumulated from each run's
+// Report.Cache — the hit ratio there is the number that tells an operator
+// whether warm traffic is actually being served from cache.
+
+// latencyBuckets are the histogram upper bounds, in seconds.
+var latencyBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// reqKey labels one requests-counter series.
+type reqKey struct {
+	route string
+	code  int
+}
+
+type metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests map[reqKey]uint64
+
+	latCounts []uint64 // len(latencyBuckets)+1; last slot is +Inf
+	latSum    float64
+	latCount  uint64
+
+	runs       uint64 // pipeline runs actually started
+	coalesced  uint64 // requests served by piggybacking on another's run
+	shed       uint64 // requests rejected 429 by admission
+	cancelled  uint64 // runs abandoned via context
+	jobsQueued uint64 // 202 responses handed out
+	bodyHits   uint64 // requests served straight from the encoded-body memo
+
+	cacheHits   uint64 // stage-level, summed from Report.Cache
+	cacheMisses uint64
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		started:   now,
+		requests:  map[reqKey]uint64{},
+		latCounts: make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+func (m *metrics) observeRequest(route string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	m.requests[reqKey{route, code}]++
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	m.latCounts[i]++
+	m.latSum += sec
+	m.latCount++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runStarted() {
+	m.mu.Lock()
+	m.runs++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runFinished(cr *core.CacheReport, cancelled bool) {
+	m.mu.Lock()
+	if cancelled {
+		m.cancelled++
+	}
+	if cr != nil {
+		m.cacheHits += uint64(len(cr.Hits))
+		m.cacheMisses += uint64(len(cr.Misses))
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) addCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) addShed()      { m.mu.Lock(); m.shed++; m.mu.Unlock() }
+func (m *metrics) addJobQueued() { m.mu.Lock(); m.jobsQueued++; m.mu.Unlock() }
+func (m *metrics) addBodyHit()   { m.mu.Lock(); m.bodyHits++; m.mu.Unlock() }
+
+// snapshot values used by tests.
+func (m *metrics) counters() (runs, coalesced, shed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs, m.coalesced, m.shed
+}
+
+// write renders the exposition. Metric names follow Prometheus
+// conventions; everything is a counter or gauge plus one histogram.
+func (m *metrics) write(w io.Writer, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP eliteserve_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE eliteserve_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "eliteserve_uptime_seconds %.3f\n", now.Sub(m.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP eliteserve_requests_total HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE eliteserve_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "eliteserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP eliteserve_request_duration_seconds HTTP request latency.\n")
+	fmt.Fprintf(w, "# TYPE eliteserve_request_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latCounts[i]
+		fmt.Fprintf(w, "eliteserve_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latCounts[len(latencyBuckets)]
+	fmt.Fprintf(w, "eliteserve_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "eliteserve_request_duration_seconds_sum %.6f\n", m.latSum)
+	fmt.Fprintf(w, "eliteserve_request_duration_seconds_count %d\n", m.latCount)
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("eliteserve_runs_total", "Characterization pipeline runs started.", m.runs)
+	counter("eliteserve_coalesced_requests_total", "Requests served by joining another request's in-flight run.", m.coalesced)
+	counter("eliteserve_shed_requests_total", "Requests rejected with 429 by the admission queue.", m.shed)
+	counter("eliteserve_cancelled_runs_total", "Runs cancelled because every waiter abandoned.", m.cancelled)
+	counter("eliteserve_jobs_queued_total", "Async job (202) responses issued.", m.jobsQueued)
+	counter("eliteserve_body_cache_hits_total", "Requests served straight from the encoded-body memo, no pipeline run.", m.bodyHits)
+	counter("eliteserve_stage_cache_hits_total", "Pipeline stages hydrated from the result cache.", m.cacheHits)
+	counter("eliteserve_stage_cache_misses_total", "Cache-eligible pipeline stages that had to compute.", m.cacheMisses)
+
+	ratio := 0.0
+	if t := m.cacheHits + m.cacheMisses; t > 0 {
+		ratio = float64(m.cacheHits) / float64(t)
+	}
+	fmt.Fprintf(w, "# HELP eliteserve_stage_cache_hit_ratio Stage-result-cache hit ratio since start.\n")
+	fmt.Fprintf(w, "# TYPE eliteserve_stage_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "eliteserve_stage_cache_hit_ratio %.4f\n", ratio)
+}

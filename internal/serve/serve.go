@@ -1,0 +1,803 @@
+// Package serve is the HTTP serving subsystem over the characterization
+// engine: an embeddable server that registers datasets (in-memory, from
+// store directories, or generated from elitegen-style specs), runs the
+// paper's analysis battery on demand through core.Characterizer, and
+// answers JSON (or rendered-text) queries about the results.
+//
+// The serving path is built for heavy identical traffic over a small set
+// of datasets:
+//
+//   - a single-flight coalescer keyed on the same (dataset digest, options
+//     digest) identity as the result cache, so N identical concurrent
+//     requests trigger exactly one pipeline run (coalesce.go);
+//   - a bounded admission queue that sheds overload with 429 instead of
+//     accumulating goroutines (admission.go);
+//   - request-context cancellation threaded down to the pipeline
+//     scheduler, so a run every waiter abandoned stops at the next stage
+//     boundary (core.RunContext);
+//   - an async job model: cold runs over the latency budget return 202
+//     with a job id and per-stage progress polling (jobs.go);
+//   - Prometheus-style /metrics with request, run, and stage-cache
+//     accounting (metrics.go).
+//
+// Endpoints: GET /healthz, GET /metrics, GET /v1/datasets,
+// GET /v1/datasets/{id}, GET|POST /v1/datasets/{id}/report,
+// GET /v1/datasets/{id}/stages/{stage}, GET /v1/datasets/{id}/users/{rank},
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/result.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"elites/internal/cache"
+	"elites/internal/core"
+	"elites/internal/gen"
+	"elites/internal/store"
+	"elites/internal/timeseries"
+	"elites/internal/twitter"
+)
+
+// Config tunes a Server. The zero value serves with the default battery
+// options, two concurrent runs, eight queued, and no async budget (every
+// report request is synchronous).
+type Config struct {
+	// Options is the base characterization configuration every request
+	// runs with (seed, sampling sizes, CacheDir for warm serving, ...).
+	// Requests may restrict Options.Stages via ?stages=; everything else
+	// is fixed at server construction so response bytes are a pure
+	// function of (dataset, server options, requested stages, format).
+	Options core.Options
+	// MaxConcurrent bounds simultaneously executing pipeline runs
+	// (<= 0 means 2). Coalesced requests count once.
+	MaxConcurrent int
+	// MaxQueue bounds runs waiting for a slot (< 0 means 0 — shed as soon
+	// as every slot is busy; 0 means the default 8).
+	MaxQueue int
+	// AsyncAfter, when > 0, is the latency budget for POST report
+	// requests: a run still going after this long detaches into a job and
+	// the client gets 202 + job id. 0 serves everything synchronously.
+	AsyncAfter time.Duration
+	// JobsKept bounds retained finished jobs (0 means 64).
+	JobsKept int
+	// BodyCacheBytes caps the in-memory memo of encoded response bodies
+	// (0 means 64 MiB; < 0 disables). Bodies are constants per request
+	// identity — datasets are immutable and options fixed — so the memo
+	// needs no invalidation and makes warm traffic O(memory read).
+	BodyCacheBytes int64
+}
+
+// dataset is one registered dataset plus its memoized identity and
+// per-user degree ranking.
+type dataset struct {
+	ID       string
+	Source   string
+	ds       *twitter.Dataset
+	activity *timeseries.DailySeries
+	digest   uint64
+
+	rankOnce sync.Once
+	byRank   []int32 // node ids, rank 1 first (out-degree desc, node asc)
+	outDeg   []int
+	inDeg    []int
+}
+
+// Server is the HTTP serving layer. Construct with New, register datasets,
+// then mount it anywhere an http.Handler goes.
+type Server struct {
+	cfg        Config
+	mux        *http.ServeMux
+	flight     *flight
+	admit      *admission
+	jobs       *jobTable
+	bodies     *bodyCache
+	met        *metrics
+	optsDigest uint64
+
+	mu       sync.Mutex
+	datasets map[string]*dataset
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 8
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	if cfg.BodyCacheBytes == 0 {
+		cfg.BodyCacheBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		flight:     newFlight(),
+		admit:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		jobs:       newJobTable(cfg.JobsKept),
+		bodies:     newBodyCache(cfg.BodyCacheBytes),
+		met:        newMetrics(time.Now()),
+		optsDigest: optionsDigest(cfg.Options),
+		datasets:   map[string]*dataset{},
+	}
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /v1/datasets", "datasets", s.handleDatasets)
+	s.route("GET /v1/datasets/{id}", "dataset", s.handleDataset)
+	s.route("GET /v1/datasets/{id}/report", "report", s.handleReport)
+	s.route("POST /v1/datasets/{id}/report", "report", s.handleReport)
+	s.route("GET /v1/datasets/{id}/stages/{stage}", "stage", s.handleStage)
+	s.route("GET /v1/datasets/{id}/users/{rank}", "user", s.handleUser)
+	s.route("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.route("GET /v1/jobs/{id}/result", "job_result", s.handleJobResult)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// optionsDigest folds every result-shaping option into the server's half
+// of the request identity (worker budgets and observability knobs stay
+// out, per the determinism contract).
+func optionsDigest(o core.Options) uint64 {
+	h := cache.NewHasher()
+	for _, v := range []uint64{
+		uint64(o.DistanceSources), uint64(o.BetweennessSources),
+		uint64(o.EigenK), uint64(o.EigenIters), uint64(o.BootstrapReps),
+		uint64(o.TopNGrams), o.Seed,
+		boolWord(o.SkipEigen), boolWord(o.SkipBetweenness),
+		boolWord(o.SkipBootstrap), boolWord(o.SkipCategories),
+	} {
+		h.Word(v)
+	}
+	return h.Sum()
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- dataset registration ----------------------------------------------------
+
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RegisterDataset registers an in-memory dataset under id. The dataset's
+// content digest (the cache identity) is computed once here.
+func (s *Server) RegisterDataset(id string, ds *twitter.Dataset, activity *timeseries.DailySeries, source string) error {
+	if !validID(id) {
+		return fmt.Errorf("serve: invalid dataset id %q", id)
+	}
+	if ds == nil || ds.Graph == nil {
+		return fmt.Errorf("serve: dataset %q has no graph", id)
+	}
+	d := &dataset{
+		ID: id, Source: source, ds: ds, activity: activity,
+		digest: store.DatasetDigest(ds, activity),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[id]; dup {
+		return fmt.Errorf("serve: dataset id %q already registered", id)
+	}
+	s.datasets[id] = d
+	return nil
+}
+
+// RegisterDir loads a store dataset directory (elitegen/elitecrawl output)
+// and registers it under id.
+func (s *Server) RegisterDir(id, dir string) error {
+	ds, activity, _, err := store.LoadDataset(dir)
+	if err != nil {
+		return fmt.Errorf("serve: loading %s: %w", dir, err)
+	}
+	return s.RegisterDataset(id, ds, activity, "dir:"+dir)
+}
+
+// RegisterGenerated synthesizes a dataset from an elitegen-style spec
+// (kind "verified" or "twitter", n users, generation seed) and registers
+// it under id.
+func (s *Server) RegisterGenerated(id, kind string, n int, seed uint64) error {
+	cfg := twitter.DefaultPlatformConfig(n)
+	cfg.Seed = seed
+	switch kind {
+	case "verified":
+		// default graph config
+	case "twitter":
+		g := gen.TwitterDefaults(n)
+		g.Seed = seed
+		cfg.GraphConfig = g
+	default:
+		return fmt.Errorf("serve: unknown dataset kind %q (want verified or twitter)", kind)
+	}
+	p, err := twitter.NewPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	ds := twitter.DatasetFromPlatform(p)
+	activity := p.ActivitySeries(p.EnglishNodes())
+	return s.RegisterDataset(id, ds, activity,
+		fmt.Sprintf("gen:%s:n=%d:seed=%d", kind, n, seed))
+}
+
+// DatasetIDs lists registered dataset ids, sorted.
+func (s *Server) DatasetIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (s *Server) dataset(id string) (*dataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[id]
+	return d, ok
+}
+
+// ranking memoizes the out-degree ranking used by the per-user endpoint.
+func (d *dataset) ranking() ([]int32, []int, []int) {
+	d.rankOnce.Do(func() {
+		g := d.ds.Graph
+		d.outDeg = g.OutDegrees()
+		d.inDeg = g.InDegrees()
+		d.byRank = make([]int32, g.NumNodes())
+		for i := range d.byRank {
+			d.byRank[i] = int32(i)
+		}
+		sort.SliceStable(d.byRank, func(a, b int) bool {
+			da, db := d.outDeg[d.byRank[a]], d.outDeg[d.byRank[b]]
+			if da != db {
+				return da > db
+			}
+			return d.byRank[a] < d.byRank[b]
+		})
+	})
+	return d.byRank, d.outDeg, d.inDeg
+}
+
+// --- request plumbing --------------------------------------------------------
+
+// recorder captures the status code for metrics.
+type recorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *recorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *recorder) Write(b []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+// route mounts a handler with metrics instrumentation under a stable route
+// label (patterns with wildcards would explode series cardinality).
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &recorder{ResponseWriter: w}
+		h(rec, r)
+		code := rec.status
+		if code == 0 {
+			// Nothing written: the client went away mid-request.
+			code = 499
+		}
+		s.met.observeRequest(label, code, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseStages validates and canonicalizes a ?stages= selection: names must
+// be known, and the result is deduplicated in canonical order so every
+// spelling of the same subset coalesces onto one run (and one cache key).
+func parseStages(raw string) ([]string, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	want := map[string]bool{}
+	for _, s := range strings.Split(raw, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		known := false
+		for _, name := range core.StageNames() {
+			if s == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown stage %q (known: %s)", s, strings.Join(core.StageNames(), ","))
+		}
+		want[s] = true
+	}
+	if len(want) == 0 {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range core.StageNames() {
+		if want[name] {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// reportKey is the coalescer/cache identity of one request class.
+func (s *Server) reportKey(d *dataset, stages []string, format string) string {
+	return fmt.Sprintf("%016x-%016x|stages=%s|format=%s",
+		d.digest, s.optsDigest, strings.Join(stages, ","), format)
+}
+
+// --- run execution -----------------------------------------------------------
+
+// runBattery is the single execution path every report-shaped request
+// funnels into (through the coalescer): the admission gate, then the
+// characterizer run with the request context threaded through, with run
+// metrics recorded. Runs are always timed — Report.Timings is what tells
+// the JSON views which value-typed sections actually executed, and it
+// never reaches response bytes.
+func (s *Server) runBattery(ctx context.Context, d *dataset, stages []string, prog *progress) (*core.Report, error) {
+	if err := s.admit.acquire(ctx); err != nil {
+		if errors.Is(err, ErrBusy) {
+			s.met.addShed()
+		}
+		return nil, err
+	}
+	defer s.admit.release()
+
+	opts := s.cfg.Options
+	opts.Stages = stages
+	opts.Timings = true
+	opts.StageObserver = prog.observe
+	s.met.runStarted()
+	rep, err := core.NewCharacterizer(opts).RunContext(ctx, d.ds, d.activity)
+	if err != nil {
+		s.met.runFinished(nil, errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		return nil, err
+	}
+	s.met.runFinished(rep.Cache, false)
+	return rep, nil
+}
+
+// buildReport runs the battery and encodes the full-report body.
+func (s *Server) buildReport(ctx context.Context, d *dataset, stages []string, format string, prog *progress) ([]byte, error) {
+	rep, err := s.runBattery(ctx, d, stages, prog)
+	if err != nil {
+		return nil, err
+	}
+	switch format {
+	case "text":
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		return buf.Bytes(), nil
+	case "json", "":
+		b, err := json.MarshalIndent(core.NewReportView(rep), "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	}
+	return nil, fmt.Errorf("serve: unknown format %q", format)
+}
+
+// writeRunError maps run failures onto HTTP semantics.
+func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server busy: admission queue full")
+	case r.Context().Err() != nil:
+		// The client is gone; nothing useful to write. The recorder logs
+		// this as 499.
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "run exceeded deadline")
+	default:
+		writeError(w, http.StatusInternalServerError, "characterization failed: %v", err)
+	}
+}
+
+func contentType(format string) string {
+	if format == "text" {
+		return "text/plain; charset=utf-8"
+	}
+	return "application/json"
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"datasets": len(s.DatasetIDs()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, time.Now())
+}
+
+// datasetInfo is the JSON row for dataset listings.
+type datasetInfo struct {
+	ID          string `json:"id"`
+	Nodes       int    `json:"nodes"`
+	Edges       int64  `json:"edges"`
+	HasProfiles bool   `json:"has_profiles"`
+	HasActivity bool   `json:"has_activity"`
+	Source      string `json:"source,omitempty"`
+	Digest      string `json:"digest"`
+}
+
+func (d *dataset) info() datasetInfo {
+	return datasetInfo{
+		ID: d.ID, Nodes: d.ds.Graph.NumNodes(), Edges: d.ds.Graph.NumEdges(),
+		HasProfiles: len(d.ds.Profiles) > 0, HasActivity: d.activity != nil,
+		Source: d.Source, Digest: fmt.Sprintf("%016x", d.digest),
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var infos []datasetInfo
+	for _, id := range s.DatasetIDs() {
+		d, _ := s.dataset(id)
+		infos = append(infos, d.info())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.info())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	stages, err := parseStages(r.URL.Query().Get("stages"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "text" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or text)", format)
+		return
+	}
+	key := s.reportKey(d, stages, format)
+	if body, ok := s.bodies.get(key); ok {
+		s.met.addBodyHit()
+		w.Header().Set("Content-Type", contentType(format))
+		w.Write(body)
+		return
+	}
+	run := func(ctx context.Context, prog *progress) ([]byte, error) {
+		return s.buildReport(ctx, d, stages, format, prog)
+	}
+
+	if s.cfg.AsyncAfter > 0 && r.Method == http.MethodPost {
+		s.handleReportAsync(w, r, d, key, format, run)
+		return
+	}
+	body, joined, err := s.flight.Do(r.Context(), key, run)
+	if joined {
+		s.met.addCoalesced()
+	}
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	s.bodies.put(key, body)
+	w.Header().Set("Content-Type", contentType(format))
+	w.Write(body)
+}
+
+// handleReportAsync implements the 202 job model: wait up to the latency
+// budget, then detach. The job is its own (never-cancelling) waiter, so
+// the run continues after the client disconnects.
+func (s *Server) handleReportAsync(w http.ResponseWriter, r *http.Request, d *dataset, key, format string, run func(context.Context, *progress) ([]byte, error)) {
+	j, created, err := s.jobs.getOrCreate(key, d.ID, format, time.Now())
+	if err != nil {
+		// A live job under the same content-addressed id belongs to a
+		// different request identity (hash collision) — refuse rather
+		// than hand this client that job's body.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if created {
+		go func() {
+			body, joined, err := s.flight.Do(context.Background(), key,
+				func(ctx context.Context, prog *progress) ([]byte, error) {
+					j.setProgress(prog)
+					return run(ctx, prog)
+				})
+			if joined {
+				s.met.addCoalesced()
+			}
+			if err == nil {
+				s.bodies.put(key, body)
+			}
+			j.finish(body, err)
+		}()
+	}
+	budget := time.NewTimer(s.cfg.AsyncAfter)
+	defer budget.Stop()
+	select {
+	case <-j.done:
+		body, err, _ := j.result()
+		if err != nil {
+			writeRunError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", contentType(format))
+		w.Write(body)
+	case <-budget.C:
+		s.met.addJobQueued()
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id":     j.ID,
+			"status_url": "/v1/jobs/" + j.ID,
+			"result_url": "/v1/jobs/" + j.ID + "/result",
+		})
+	case <-r.Context().Done():
+		// Client gone; the job keeps running. Recorded as 499.
+	}
+}
+
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	stage := r.PathValue("stage")
+	stages, err := parseStages(stage)
+	if err != nil || len(stages) != 1 {
+		writeError(w, http.StatusBadRequest, "unknown stage %q (known: %s)",
+			stage, strings.Join(core.StageNames(), ","))
+		return
+	}
+	// The run must include every stage the view draws from (components'
+	// servable projection is the summary table).
+	runStages := core.ViewStages(stage)
+	// The requested stage is part of the identity: the body names it, even
+	// when two stages would share a run subset.
+	key := s.reportKey(d, runStages, "stage:"+stage)
+	if body, ok := s.bodies.get(key); ok {
+		s.met.addBodyHit()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	body, joined, err := s.flight.Do(r.Context(), key, func(ctx context.Context, prog *progress) ([]byte, error) {
+		rep, rerr := s.runBattery(ctx, d, runStages, prog)
+		if rerr != nil {
+			return nil, rerr
+		}
+		frag, verr := core.StageView(rep, stage)
+		if verr != nil {
+			return nil, verr
+		}
+		b, merr := json.MarshalIndent(map[string]any{
+			"dataset": d.ID, "stage": stage, "result": frag,
+		}, "", "  ")
+		if merr != nil {
+			return nil, merr
+		}
+		return append(b, '\n'), nil
+	})
+	if joined {
+		s.met.addCoalesced()
+	}
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	s.bodies.put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// userView is the per-user payload: degree ranking plus the §IV
+// verification-feature metrics the related work motivates serving
+// per-account. Profile is nil (omitted) only when the dataset carries no
+// profiles at all — a false/zero profile value always serializes, so
+// "not verified" is distinguishable from "no profile recorded".
+type userView struct {
+	Rank      int              `json:"rank"`
+	Node      int              `json:"node"`
+	OutDegree int              `json:"out_degree"`
+	InDegree  int              `json:"in_degree"`
+	Profile   *userProfileView `json:"profile,omitempty"`
+}
+
+// userProfileView is the profile half of a per-user response.
+type userProfileView struct {
+	ScreenName string `json:"screen_name"`
+	Name       string `json:"name"`
+	Category   string `json:"category"`
+	Verified   bool   `json:"verified"`
+	Followers  int64  `json:"followers"`
+	Friends    int64  `json:"friends"`
+	Listed     int64  `json:"listed"`
+	Statuses   int64  `json:"statuses"`
+	Bio        string `json:"bio,omitempty"`
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	rank, err := strconv.Atoi(r.PathValue("rank"))
+	if err != nil || rank < 1 {
+		writeError(w, http.StatusBadRequest, "rank must be a positive integer, got %q", r.PathValue("rank"))
+		return
+	}
+	byRank, outDeg, inDeg := d.ranking()
+	if rank > len(byRank) {
+		writeError(w, http.StatusNotFound, "rank %d out of range (dataset has %d users)", rank, len(byRank))
+		return
+	}
+	node := int(byRank[rank-1])
+	v := userView{
+		Rank: rank, Node: node,
+		OutDegree: outDeg[node], InDegree: inDeg[node],
+	}
+	if node < len(d.ds.Profiles) {
+		p := d.ds.Profiles[node]
+		v.Profile = &userProfileView{
+			ScreenName: p.ScreenName,
+			Name:       p.Name,
+			Category:   p.Category.String(),
+			Verified:   p.Verified,
+			Followers:  p.Followers,
+			Friends:    p.Friends,
+			Listed:     p.Listed,
+			Statuses:   p.Statuses,
+			Bio:        p.Bio,
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// jobStatus is the polling payload for async runs.
+type jobStatus struct {
+	ID         string       `json:"id"`
+	Dataset    string       `json:"dataset"`
+	State      string       `json:"state"` // running | done | failed
+	Created    time.Time    `json:"created"`
+	StagesDone int          `json:"stages_done"`
+	Stages     []stageState `json:"stages,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	ResultURL  string       `json:"result_url,omitempty"`
+}
+
+// stageState is one completed stage in a job's progress.
+type stageState struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+	CacheHit   bool    `json:"cache_hit"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st := jobStatus{ID: j.ID, Dataset: j.Dataset, Created: j.Created, State: "running"}
+	if _, err, finished := j.result(); finished {
+		if err != nil {
+			st.State = "failed"
+			st.Error = err.Error()
+		} else {
+			st.State = "done"
+			st.ResultURL = "/v1/jobs/" + j.ID + "/result"
+		}
+	}
+	timings := j.progressSnapshot()
+	if len(timings) == 0 {
+		// The job may have joined a run another request started; surface
+		// that run's progress instead.
+		if c, live := s.flight.peek(j.Key); live {
+			timings = c.prog.snapshot()
+		}
+	}
+	for _, tm := range timings {
+		st.Stages = append(st.Stages, stageState{
+			Name:       tm.Name,
+			DurationMS: float64(tm.Duration.Microseconds()) / 1000,
+			CacheHit:   tm.CacheHit,
+		})
+	}
+	st.StagesDone = len(st.Stages)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	body, err, finished := j.result()
+	if !finished {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s still running", j.ID)
+		return
+	}
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType(j.Format))
+	w.Write(body)
+}

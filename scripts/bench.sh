@@ -4,8 +4,10 @@
 # against.
 #
 # Covered: sharded Brandes betweenness (worker budgets 1/2/8), the CSN
-# goodness-of-fit bootstrap (1/2/8), and the full characterization cold
-# vs. warm result cache.
+# goodness-of-fit bootstrap (1/2/8), the full characterization cold vs.
+# warm result cache, and the HTTP serving layer's cold vs. warm report
+# request latency (eliteserve's stack: router, coalescer, admission,
+# pipeline, encoding).
 #
 #   sh scripts/bench.sh                 # writes BENCH_results.json
 #   sh scripts/bench.sh compare         # fresh run diffed against the
@@ -20,7 +22,7 @@ MODE="${1:-record}"
 BENCHTIME="${BENCHTIME:-2x}"
 OUT="${OUT:-BENCH_results.json}"
 BASELINE="${BASELINE:-BENCH_results.json}"
-PATTERN='BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache'
+PATTERN='BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache|BenchmarkServeRequest'
 
 raw=$(mktemp)
 json=$(mktemp)
