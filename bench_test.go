@@ -527,8 +527,9 @@ func BenchmarkPipelineStages(b *testing.B) {
 // order), so this measures pure scheduling gain inside one stage.
 func BenchmarkBetweennessParallel(b *testing.B) {
 	_, ds, _, _ := fixtures(b)
-	for _, workers := range []int{1, 2, 8} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := mathx.NewRNG(31)
 			for i := 0; i < b.N; i++ {
 				centrality.ApproxBetweennessWorkers(ds.Graph, 256, rng, workers)

@@ -290,15 +290,15 @@ func equalBits(t *testing.T, label string, got, want []float64) {
 }
 
 // TestBetweennessWorkerInvariance: exact Betweenness must be byte-identical
-// at worker budgets 1, 4 and 7 — including graphs with fewer sources than
-// workers — because source chunks have a fixed layout and their partial
-// vectors are reduced in chunk order.
+// at worker budgets 1, 2, 4, 7 and 8 — including graphs with fewer sources
+// than workers — because source chunks have a fixed layout and their partial
+// vectors are folded in chunk order (blocked over disjoint column ranges).
 func TestBetweennessWorkerInvariance(t *testing.T) {
 	rng := mathx.NewRNG(9)
 	for _, n := range []int{3, 40, 150} { // n=3 exercises sources < workers
 		g := randomDigraph(rng, n, 0.1)
 		ref := BetweennessWorkers(g, 1)
-		for _, workers := range []int{4, 7} {
+		for _, workers := range []int{2, 4, 7, 8} {
 			equalBits(t, fmt.Sprintf("n=%d workers=%d", n, workers),
 				BetweennessWorkers(g, workers), ref)
 		}

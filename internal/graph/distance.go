@@ -108,6 +108,89 @@ func bfsInto(g *Digraph, src int, dist []int32, queue []int32) []int32 {
 	return queue
 }
 
+// distanceBottomUp decides the traversal direction for one level of the
+// distance sweeps' direction-optimizing BFS — same shape as the betweenness
+// kernel's heuristic (see internal/centrality): top-down costs one probe per
+// frontier out-edge (mf), bottom-up costs at most the unreached nodes'
+// in-edges (restIn, estimated as unreached·m/n) and usually much less, since
+// a distance-only sweep stops scanning a node's in-edges at the first
+// frontier parent. Deterministic: inputs are pure functions of (graph,
+// source). A variable so tests can force either direction.
+var distanceBottomUp = func(mf, restIn, unreached int64) bool {
+	return 8*mf > restIn+unreached
+}
+
+// bfsScratch is the reusable state of bfsDirOptInto.
+type bfsScratch struct {
+	cur, next []int32
+	front     []uint64 // frontier bitmap, L1-resident at histogram scales
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{
+		cur:   make([]int32, 0, n),
+		next:  make([]int32, 0, n),
+		front: make([]uint64, (n+63)/64),
+	}
+}
+
+// bfsDirOptInto is bfsInto with direction optimization: each level expands
+// top-down (scan frontier out-edges) or bottom-up (scan unreached nodes'
+// in-edges against a frontier bitmap, stopping at the first parent) per
+// distanceBottomUp. Distances are identical either way — only the visit
+// order differs, which a histogram never observes. dist must be pre-filled
+// with -1; the caller must have materialized g.InCSR() already (workers
+// would otherwise serialize on the lazy transpose build).
+func bfsDirOptInto(g *Digraph, src int, dist []int32, sc *bfsScratch) {
+	outOff, _ := g.CSR()
+	inOff, inAdj := g.InCSR()
+	n := g.n
+	m := int64(len(inAdj))
+	dist[src] = 0
+	cur, next := sc.cur[:0], sc.next[:0]
+	cur = append(cur, int32(src))
+	reached := 1
+	for d := int32(0); len(cur) > 0; d++ {
+		var mf int64
+		for _, u := range cur {
+			mf += outOff[u+1] - outOff[u]
+		}
+		unreached := int64(n - reached)
+		next = next[:0]
+		if distanceBottomUp(mf, unreached*m/int64(n), unreached) {
+			front := sc.front
+			clear(front)
+			for _, u := range cur {
+				front[uint32(u)>>6] |= 1 << (uint32(u) & 63)
+			}
+			for v := 0; v < n; v++ {
+				if dist[v] >= 0 {
+					continue
+				}
+				for _, u := range inAdj[inOff[v]:inOff[v+1]] {
+					if front[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
+						dist[v] = d + 1
+						next = append(next, int32(v))
+						break
+					}
+				}
+			}
+		} else {
+			for _, u := range cur {
+				for _, v := range g.OutNeighbors(int(u)) {
+					if dist[v] < 0 {
+						dist[v] = d + 1
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		reached += len(next)
+		cur, next = next, cur
+	}
+	sc.cur, sc.next = cur, next // retain grown capacity for the next source
+}
+
 // ExactDistances runs a full all-pairs BFS (n BFS traversals, parallelized
 // on the shared worker pool) and returns the exact distance distribution.
 // Suitable up to a few tens of thousands of nodes.
@@ -172,18 +255,19 @@ const maxDistancePartials = 64
 // exact at any budget; the fixed order keeps it deterministic by
 // construction all the same.
 func distancesFromSources(g *Digraph, sources []int, workers int) *DistanceDistribution {
+	g.InCSR() // build the transpose once, before the workers race to it
 	chunk := (len(sources) + maxDistancePartials - 1) / maxDistancePartials
 	parts := parallel.ChunkReduce(len(sources), chunk, workers, func(lo, hi int) []int64 {
 		n := g.NumNodes()
 		dist := make([]int32, n)
-		queue := make([]int32, 0, 1024)
+		sc := newBFSScratch(n)
 		counts := make([]int64, 64)
 		for idx := lo; idx < hi; idx++ {
 			src := sources[idx]
 			for i := range dist {
 				dist[i] = -1
 			}
-			queue = bfsInto(g, src, dist, queue)
+			bfsDirOptInto(g, src, dist, sc)
 			for _, d := range dist {
 				if d > 0 {
 					if int(d) >= len(counts) {

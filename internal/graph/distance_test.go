@@ -219,3 +219,43 @@ func TestBFSQueueCapacityRetained(t *testing.T) {
 		t.Fatal("reused queue reallocated despite sufficient capacity")
 	}
 }
+
+// TestBFSDirOptMatchesBFS: the direction-optimizing BFS must produce exactly
+// the distances of the plain queue BFS on every fixture, at both heuristic
+// extremes (all top-down and all bottom-up), because only the visit order —
+// never a distance value — depends on the direction choice.
+func TestBFSDirOptMatchesBFS(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	graphs := map[string]*Digraph{
+		"sparse":    randomDigraph(rng, 200, 0.01),
+		"dense":     randomDigraph(rng, 80, 0.3),
+		"ring":      ringWithChords(150),
+		"path":      FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		"singleton": NewBuilder(1).Build(),
+	}
+	orig := distanceBottomUp
+	defer func() { distanceBottomUp = orig }()
+	for name, g := range graphs {
+		n := g.NumNodes()
+		g.InCSR()
+		sc := newBFSScratch(n)
+		got := make([]int32, n)
+		for _, force := range []bool{false, true} {
+			force := force
+			distanceBottomUp = func(mf, restIn, unreached int64) bool { return force }
+			for src := 0; src < n; src += 1 + n/7 {
+				want := BFS(g, src)
+				for i := range got {
+					got[i] = -1
+				}
+				bfsDirOptInto(g, src, got, sc)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s src=%d force=%v node %d: dist %d, want %d",
+							name, src, force, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}

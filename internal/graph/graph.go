@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrNodeRange is returned when a node id is outside [0, N).
@@ -26,6 +27,14 @@ type Digraph struct {
 	n       int
 	offsets []int64 // len n+1; out-neighbors of u are adj[offsets[u]:offsets[u+1]]
 	adj     []int32 // sorted within each row
+
+	// Transpose CSR (in-neighbors), built lazily by InCSR/InNeighbors and
+	// cached for the graph's lifetime. Direction-optimizing traversals
+	// (bottom-up BFS in the betweenness kernel and the distance sweeps)
+	// read it; everything else never pays for it.
+	inOnce sync.Once
+	inOff  []int64
+	inAdj  []int32
 }
 
 // NumNodes returns the number of nodes.
@@ -75,8 +84,9 @@ func (g *Digraph) OutDegrees() []int {
 	return out
 }
 
-// Reverse returns the transpose graph (every edge u→v becomes v→u).
-func (g *Digraph) Reverse() *Digraph {
+// buildIn materializes the transpose CSR once. Rows of the transpose are
+// filled in increasing source order, so they come out sorted.
+func (g *Digraph) buildIn() {
 	in := g.InDegrees()
 	offsets := make([]int64, g.n+1)
 	for u := 0; u < g.n; u++ {
@@ -91,8 +101,32 @@ func (g *Digraph) Reverse() *Digraph {
 			cursor[v]++
 		}
 	}
-	// Rows of the transpose are filled in increasing source order, so they
-	// are already sorted.
+	g.inOff, g.inAdj = offsets, adj
+}
+
+// InCSR returns the transpose adjacency (offsets, in-neighbors) in CSR form:
+// the in-neighbors of v are inAdj[inOff[v]:inOff[v+1]], sorted. The transpose
+// is built on first use (O(m)) and cached; the returned slices alias internal
+// storage and must not be modified. Safe for concurrent use.
+func (g *Digraph) InCSR() ([]int64, []int32) {
+	g.inOnce.Do(g.buildIn)
+	return g.inOff, g.inAdj
+}
+
+// InNeighbors returns the sorted in-neighbor slice of v, building the cached
+// transpose on first use. The returned slice aliases internal storage and
+// must not be modified.
+func (g *Digraph) InNeighbors(v int) []int32 {
+	g.inOnce.Do(g.buildIn)
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// Reverse returns the transpose graph (every edge u→v becomes v→u). The
+// returned graph shares the cached transpose arrays (both graphs are
+// immutable), so calling Reverse after InCSR — or vice versa — transposes
+// only once.
+func (g *Digraph) Reverse() *Digraph {
+	offsets, adj := g.InCSR()
 	return &Digraph{n: g.n, offsets: offsets, adj: adj}
 }
 

@@ -47,6 +47,39 @@ func Workers(budget int) int {
 // count, or the determinism guarantee is lost; chunk <= 0 selects a single
 // chunk covering all of [0, n).
 func ChunkReduce[T any](n, chunk, workers int, fn func(lo, hi int) T) []T {
+	return chunkReduce(n, chunk, workers, fn)
+}
+
+// BlockedSumInto folds per-chunk partial score vectors into dst, sharded
+// over fixed-width column blocks instead of a serial whole-vector pass: each
+// worker owns disjoint blocks of dst, and within a block the partials are
+// added in slice order. Every dst element therefore accumulates its
+// contributions in exactly the order a serial left fold over partials would
+// use — the result is bit-identical to that fold at every worker budget —
+// while the reduction runs on all workers and touches dst one cache-friendly
+// block at a time rather than streaming len(partials)·len(dst) floats
+// through a single core.
+//
+// Every partial must have at least len(dst) elements. block is the column
+// width in elements and must not be derived from the worker count (a fixed
+// constant keeps the layout deterministic); block <= 0 selects one block.
+func BlockedSumInto(dst []float64, partials [][]float64, block, workers int) {
+	if len(dst) == 0 || len(partials) == 0 {
+		return
+	}
+	chunkReduce(len(dst), block, workers, func(lo, hi int) struct{} {
+		d := dst[lo:hi]
+		for _, p := range partials {
+			p := p[lo:hi]
+			for i, v := range p {
+				d[i] += v
+			}
+		}
+		return struct{}{}
+	})
+}
+
+func chunkReduce[T any](n, chunk, workers int, fn func(lo, hi int) T) []T {
 	if n <= 0 {
 		return nil
 	}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -327,7 +328,7 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 					continue
 				}
 				start := time.Now()
-				hit, err := execute(&stages[i], opts.Cache)
+				hit, err := execute(ctx, &stages[i], opts.Cache)
 				mu.Lock()
 				timings[i].Duration = time.Since(start)
 				timings[i].Skipped = false
@@ -363,7 +364,22 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 // skips Run entirely; a decode failure (corrupt or stale payload) falls back
 // to a normal run. After a successful run the encoded outputs are stored —
 // Encode failures only skip the store, never fail the stage.
-func execute(s *Stage, c Cacher) (cacheHit bool, err error) {
+//
+// The whole execution — cache lookup, Run, store — is wrapped in a pprof
+// label ("stage" = the stage name), so a CPU profile of a battery run
+// (go test -cpuprofile, or the server's /debug/pprof/profile) attributes
+// samples to pipeline stages: `go tool pprof -tagfocus stage=betweenness`
+// isolates one stage, `-tagshow stage` breaks the profile down by all of
+// them. Labels propagate to goroutines the stage spawns (the parallel
+// chunk workers inherit them), so sharded loops are attributed too.
+func execute(ctx context.Context, s *Stage, c Cacher) (cacheHit bool, err error) {
+	pprof.Do(ctx, pprof.Labels("stage", s.Name), func(context.Context) {
+		cacheHit, err = executeUnlabeled(s, c)
+	})
+	return cacheHit, err
+}
+
+func executeUnlabeled(s *Stage, c Cacher) (cacheHit bool, err error) {
 	cached := c != nil && s.CacheKey != "" && s.Encode != nil && s.Decode != nil
 	if cached {
 		if data, ok := c.Get(s.CacheKey); ok {

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -469,5 +470,52 @@ func TestObserverSeesEveryExecutedStage(t *testing.T) {
 	}
 	if _, ok := seen["skipped"]; ok {
 		t.Fatal("dependency-skipped stage must not reach the observer")
+	}
+}
+
+// TestStagePprofLabels: while a stage executes, its goroutine (and any
+// goroutine it spawns) must carry the pprof label stage=<name>, so CPU
+// profiles of a battery run can be broken down per stage with
+// `go tool pprof -tagshow stage`. The goroutine profile is what the
+// profiler reads, so the assertion goes through it.
+func TestStagePprofLabels(t *testing.T) {
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(2)
+	block := func() error {
+		done := make(chan struct{})
+		go func() { // labels must propagate to spawned goroutines
+			defer close(done)
+			running.Done()
+			<-release
+		}()
+		<-done
+		return nil
+	}
+	stages := []Stage{
+		{Name: "alpha", Run: block},
+		{Name: "beta", Run: block},
+	}
+	var runErr error
+	var finished sync.WaitGroup
+	finished.Add(1)
+	go func() {
+		defer finished.Done()
+		_, runErr = Run(stages, Options{Parallelism: 2})
+	}()
+	running.Wait() // both stages are now blocked inside Run
+	var buf strings.Builder
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	finished.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{`"stage":"alpha"`, `"stage":"beta"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("goroutine profile lacks label %s:\n%s", want, buf.String())
+		}
 	}
 }
