@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -787,6 +788,91 @@ func BenchmarkServeRequest(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			request(ts)
+		}
+	})
+}
+
+// --- feature matrix ----------------------------------------------------------
+
+// BenchmarkFeatureMatrix times the bulk per-user feature pass (degrees,
+// core membership, centrality percentiles, ego clustering, tail membership,
+// scorer) on the canonical instance across worker budgets. The matrix is
+// bit-identical at every budget (fixed ShardRows-wide chunks reduced in
+// chunk order), so this measures pure sharding gain.
+func BenchmarkFeatureMatrix(b *testing.B) {
+	_, ds, _, _ := fixtures(b)
+	DefaultScorer() // train once outside the timed region
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ComputeFeatures(ds, FeatureOptions{
+					BetweennessSources: 128, Seed: 23, Parallelism: workers,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkServeUserBatch times warm users:batch requests through the full
+// serving stack. "body-memo" repeats one rank list (the response bytes come
+// straight from the encoded-body memo); "shards" rotates the rank list on a
+// fresh server over a primed cache directory, so every request decodes or
+// reuses precomputed feature shards — neither path runs the pipeline.
+func BenchmarkServeUserBatch(b *testing.B) {
+	_, ds, activity, _ := fixtures(b)
+	opts := core.Options{
+		BootstrapReps: 25, EigenK: 100, BetweennessSources: 128,
+		DistanceSources: 150, Seed: 23,
+	}
+	newServer := func(dir string) *serve.Server {
+		o := opts
+		o.CacheDir = dir
+		s := serve.New(serve.Config{Options: o})
+		if err := s.RegisterDataset("bench", ds, activity, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	post := func(ts *httptest.Server, body string) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/datasets/bench/users:batch",
+			"application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("users:batch: %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	dir := b.TempDir()
+	defer cache.Release(dir)
+	prime := httptest.NewServer(newServer(dir))
+	post(prime, `{"ranks":[1,2,3]}`) // cold run populates the shard cache
+	prime.Close()
+
+	b.Run("body-memo", func(b *testing.B) {
+		ts := httptest.NewServer(newServer(dir))
+		defer ts.Close()
+		post(ts, `{"ranks":[1,2,3]}`)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(ts, `{"ranks":[1,2,3]}`)
+		}
+	})
+	b.Run("shards", func(b *testing.B) {
+		ts := httptest.NewServer(newServer(dir))
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A distinct rank list each iteration defeats the body memo, so
+			// the rows resolve through the shard tier every time.
+			r := 1 + i%benchN
+			post(ts, fmt.Sprintf(`{"ranks":[%d,%d,%d]}`, r, 1+(r+97)%benchN, 1+(r+4211)%benchN))
 		}
 	})
 }

@@ -26,6 +26,11 @@
 //	eliteanalyze -n 20000 -cpuprofile cpu.pb.gz
 //	go tool pprof cpu.pb.gz
 //
+// -features runs only the per-user feature-matrix stage and prints the
+// feature rows + scorer verdicts for the given comma-separated out-degree
+// ranks as JSON (the same body eliteserve's users:batch endpoint returns,
+// byte for byte, for the same dataset and seed) instead of the report.
+//
 // Usage:
 //
 //	eliteanalyze -data ./dataset          # analyze a saved dataset
@@ -34,9 +39,11 @@
 //	eliteanalyze -parallel 1 -timings    # one stage at a time, with clocks
 //	eliteanalyze -stages summary,degree  # just those stages (and deps)
 //	eliteanalyze -cache ~/.elites-cache  # warm re-runs skip heavy stages
+//	eliteanalyze -features 1,2,3         # per-user feature rows as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +51,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"elites"
@@ -66,6 +74,7 @@ func main() {
 		cacheMem   = flag.Int64("cache-mem", 0, "in-memory cache tier cap in bytes (0 = default 256 MiB); evictions show in the stderr cache summary")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
+		featuresF  = flag.String("features", "", "comma-separated out-degree ranks, e.g. 1,2,3: run only the feature-matrix stage and print those users' feature rows as JSON instead of the report")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -79,7 +88,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache, *cacheMem)
+	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache, *cacheMem, *featuresF)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -102,7 +111,7 @@ func main() {
 	}
 }
 
-func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool, cacheMem int64) error {
+func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool, cacheMem int64, featuresF string) error {
 	var (
 		ds       *elites.Dataset
 		activity *elites.DailySeries
@@ -140,6 +149,9 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 			}
 		}
 	}
+	if featuresF != "" {
+		return runFeatures(ds, activity, opts, featuresF)
+	}
 	rep, err := elites.NewCharacterizer(opts).Run(ds, activity)
 	if err != nil {
 		return err
@@ -160,6 +172,55 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 			return err
 		}
 		fmt.Printf("\nfigures written to %s\n", figdir)
+	}
+	return nil
+}
+
+// runFeatures is the -features path: run only the feature-matrix stage and
+// print the requested ranks' rows as a users:batch-shaped JSON body. The
+// output is byte-identical to eliteserve's users:batch response for the
+// same dataset, seed and ranks — the CI serve smoke cmp's the two.
+func runFeatures(ds *elites.Dataset, activity *elites.DailySeries, opts elites.Options, ranksF string) error {
+	var ranks []int
+	for _, s := range strings.Split(ranksF, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		r, err := strconv.Atoi(s)
+		if err != nil || r < 1 {
+			return fmt.Errorf("-features: ranks must be positive integers, got %q", s)
+		}
+		ranks = append(ranks, r)
+	}
+	if len(ranks) == 0 {
+		return fmt.Errorf("-features: no ranks given")
+	}
+	byRank := elites.RankByOutDegree(ds.Graph)
+	for _, r := range ranks {
+		if r > len(byRank) {
+			return fmt.Errorf("-features: rank %d out of range (dataset has %d users)", r, len(byRank))
+		}
+	}
+	opts.Stages = []string{elites.StageFeatures}
+	rep, err := elites.NewCharacterizer(opts).Run(ds, activity)
+	if err != nil {
+		return err
+	}
+	m := rep.Features
+	view := elites.UsersBatchView{Users: make([]elites.UserFeaturesView, len(ranks))}
+	for i, r := range ranks {
+		node := int(byRank[r-1])
+		view.Users[i] = elites.NewUserFeaturesView(r, node, m.Row(node), m.ProbsRow(node), m.ClassOf(node))
+	}
+	b, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(b, '\n'))
+	if rep.Cache != nil {
+		fmt.Fprintf(os.Stderr, "eliteanalyze: cache %s: hits=%d %v misses=%d %v evictions=%d\n",
+			rep.Cache.Dir, len(rep.Cache.Hits), rep.Cache.Hits,
+			len(rep.Cache.Misses), rep.Cache.Misses, rep.Cache.Evictions)
 	}
 	return nil
 }

@@ -13,6 +13,8 @@
 //	GET|POST /v1/datasets/{id}/report          full battery (?stages=, ?format=json|text)
 //	GET  /v1/datasets/{id}/stages/{stage}      one stage's result fragment
 //	GET  /v1/datasets/{id}/users/{rank}        per-user metrics by out-degree rank
+//	GET  /v1/datasets/{id}/users/{rank}/features   per-user feature row + scorer verdict
+//	POST /v1/datasets/{id}/users:batch         batched feature rows ({"ranks":[1,2,3]})
 //	GET  /v1/jobs/{id}, /v1/jobs/{id}/result   async job status / result
 //
 // Identical concurrent requests coalesce onto one pipeline run; -cache

@@ -50,6 +50,7 @@ import (
 
 	"elites/internal/centrality"
 	"elites/internal/core"
+	"elites/internal/features"
 	"elites/internal/gen"
 	"elites/internal/graph"
 	"elites/internal/mathx"
@@ -220,6 +221,20 @@ type (
 	// ReportView is the JSON-safe projection of a Report (NaN-tolerant,
 	// deterministic bytes) that the serving layer responds with.
 	ReportView = core.ReportView
+	// FeatureMatrix is the per-user feature matrix + scorer output
+	// (Report.Features when Options.Features opts the stage in).
+	FeatureMatrix = features.Matrix
+	// FeatureOptions tunes a standalone feature-matrix computation.
+	FeatureOptions = features.Options
+	// FeatureRows is a contiguous row-range fragment of a feature matrix
+	// (what one cached shard decodes into).
+	FeatureRows = features.Rows
+	// Scorer is the deterministic logistic elite/bot/regular classifier.
+	Scorer = features.Scorer
+	// UserFeaturesView and UsersBatchView are the JSON projections the
+	// per-user feature endpoints respond with.
+	UserFeaturesView = core.UserFeaturesView
+	UsersBatchView   = core.UsersBatchView
 )
 
 // Pipeline entry points.
@@ -246,6 +261,30 @@ var (
 	// extracts one stage's fragment.
 	NewReportView = core.NewReportView
 	StageView     = core.StageView
+	// ComputeFeatures builds the per-user feature matrix standalone (the
+	// pipeline's features stage calls the same function); DefaultScorer is
+	// the process-wide classifier it scores rows with, trained once on the
+	// fixed elitegen seed schedule.
+	ComputeFeatures = features.Compute
+	DefaultScorer   = features.DefaultScorer
+	// FeatureNames lists the matrix columns in order; RankByOutDegree is
+	// the serving layer's per-user ranking (out-degree desc, node asc).
+	FeatureNames    = features.Names
+	RankByOutDegree = features.RankByOutDegree
+	// NewUserFeaturesView builds one user's JSON feature view from a
+	// matrix row.
+	NewUserFeaturesView = core.NewUserFeaturesView
+)
+
+// StageFeatures names the opt-in feature-matrix pipeline stage (for
+// Options.Stages selections).
+const StageFeatures = core.StageFeatures
+
+// Scorer classes (FeatureMatrix.Class values).
+const (
+	ClassElite   = features.ClassElite
+	ClassBot     = features.ClassBot
+	ClassRegular = features.ClassRegular
 )
 
 // --- Serving --------------------------------------------------------------------

@@ -19,6 +19,7 @@ import (
 
 	"elites/internal/cache"
 	"elites/internal/centrality"
+	"elites/internal/features"
 	"elites/internal/graph"
 	"elites/internal/mathx"
 	"elites/internal/pipeline"
@@ -106,6 +107,14 @@ type Options struct {
 	// layers use it for live progress on long runs; it never affects
 	// results and never enters cache keys.
 	StageObserver func(StageTiming)
+	// Features opts the per-user feature-matrix stage (internal/features)
+	// into the run. The stage is opt-in — it also registers when Stages
+	// names "features" explicitly — so the default battery, its cache
+	// traffic and its rendered output are unchanged. The matrix is cached
+	// as a tiny manifest entry plus fixed-width row shards (ShardRows
+	// each), which is what lets eliteserve answer per-user feature
+	// requests without running the pipeline.
+	Features bool
 }
 
 // Pipeline stage names, in canonical (paper) order.
@@ -123,6 +132,7 @@ const (
 	StageCategories  = "categories"
 	StageMutualCore  = "mutualcore"
 	StageActivity    = "activity"
+	StageFeatures    = "features"
 )
 
 // StageNames returns every pipeline stage name in canonical order. Which
@@ -134,6 +144,7 @@ func StageNames() []string {
 		StageComponents, StageSummary, StageBasic, StageDegree, StageEigen,
 		StageReciprocity, StageDistances, StageBios, StageHistograms,
 		StageCentrality, StageCategories, StageMutualCore, StageActivity,
+		StageFeatures,
 	}
 }
 
@@ -267,6 +278,10 @@ type Report struct {
 	Categories *CategoryAnalysis
 	// MutualCore validates the §IV-C core-reciprocity conjecture.
 	MutualCore *MutualCoreAnalysis
+	// Features is the per-user feature matrix + scorer output; nil unless
+	// Options.Features (or an explicit "features" stage selection) opted
+	// the stage in.
+	Features *features.Matrix
 	// Timings holds per-stage wall clocks when Options.Timings is set.
 	// Render ignores it, keeping rendered reports comparable across runs.
 	Timings []StageTiming
@@ -488,6 +503,39 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 			return nil
 		}})
 	}
+	if c.opts.Features || stageRequested(c.opts.Stages, StageFeatures) {
+		fopts := features.Options{
+			BetweennessSources: c.opts.BetweennessSources,
+			Seed:               c.opts.Seed,
+			Parallelism:        c.opts.Parallelism,
+		}
+		fdigest := features.OptionsDigest(fopts)
+		// Row payloads are cached as per-shard entries (features.Store)
+		// keyed on the same (dataset, options) identity; the stage body is
+		// just the manifest. A missing or corrupt shard fails Decode, so
+		// the scheduler treats the whole stage as a miss and recomputes —
+		// the matrix is never partially hydrated.
+		fstore := features.Store{Cache: rcache, Dataset: dsDigest, Options: fdigest}
+		stages = append(stages, withCache(pipeline.Stage{Name: StageFeatures, Run: func() error {
+			rep.Features = features.Compute(ds, fopts)
+			return nil
+		}}, features.ManifestCodecVersion, fdigest,
+			func(e *cache.Encoder) {
+				features.EncodeManifest(e, rep.Features)
+				fstore.Put(rep.Features)
+			},
+			func(d *cache.Decoder) error {
+				m, err := features.DecodeManifest(d, g.NumNodes())
+				if err != nil {
+					return err
+				}
+				if err := fstore.Load(m); err != nil {
+					return err
+				}
+				rep.Features = m
+				return nil
+			}))
+	}
 
 	only, err := filterStageSelection(c.opts.Stages, stages)
 	if err != nil {
@@ -541,6 +589,16 @@ func boolWord(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// stageRequested reports whether a stage selection names stage explicitly.
+func stageRequested(requested []string, stage string) bool {
+	for _, name := range requested {
+		if name == stage {
+			return true
+		}
+	}
+	return false
 }
 
 // filterStageSelection validates a user stage selection against the full

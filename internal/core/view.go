@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"elites/internal/features"
 	"elites/internal/graph"
 	"elites/internal/powerlaw"
 	"elites/internal/stats"
@@ -65,6 +66,7 @@ type ReportView struct {
 	Categories  *CategoriesView          `json:"categories,omitempty"`
 	MutualCore  *MutualCoreView          `json:"mutual_core,omitempty"`
 	Activity    *ActivityView            `json:"activity,omitempty"`
+	Features    *FeaturesSummaryView     `json:"features,omitempty"`
 }
 
 // SummaryView mirrors the §III dataset table.
@@ -225,6 +227,59 @@ type ChangepointView struct {
 	Stability JSONFloat `json:"stability"`
 }
 
+// FeaturesSummaryView is the feature-matrix stage's report fragment: the
+// scalar summary only — per-row payloads are served through the per-user
+// endpoints, never inlined into a report body.
+type FeaturesSummaryView struct {
+	Users        int       `json:"users"`
+	Columns      []string  `json:"columns"`
+	CoreK        int       `json:"core_k"`
+	Degeneracy   int       `json:"degeneracy"`
+	TailXmin     JSONFloat `json:"tail_xmin"` // null when no power-law tail fit succeeded
+	TailCount    int       `json:"tail_count"`
+	EliteCount   int       `json:"elite_count"`
+	BotCount     int       `json:"bot_count"`
+	RegularCount int       `json:"regular_count"`
+}
+
+// FeatureVectorView is one user's named feature vector, in matrix column
+// order.
+type FeatureVectorView struct {
+	OutDegree  JSONFloat `json:"out_degree"`
+	InDegree   JSONFloat `json:"in_degree"`
+	Ratio      JSONFloat `json:"follower_following_ratio"` // null for 0/0 (NaN) and x/0 (+Inf)
+	MutualCore bool      `json:"mutual_core"`
+	BetwPct    JSONFloat `json:"betweenness_pct"`
+	EigenPct   JSONFloat `json:"eigen_pct"`
+	Clustering JSONFloat `json:"clustering"`
+	Tail       bool      `json:"power_law_tail"`
+}
+
+// UserScoreView is the scorer's verdict for one user.
+type UserScoreView struct {
+	Class   string    `json:"class"` // "elite" | "bot" | "regular"
+	Elite   JSONFloat `json:"elite"`
+	Bot     JSONFloat `json:"bot"`
+	Regular JSONFloat `json:"regular"`
+}
+
+// UserFeaturesView is one user's feature row + score, addressed by
+// out-degree rank (rank 1 = most-following account) like the serving
+// layer's other per-user responses.
+type UserFeaturesView struct {
+	Rank     int               `json:"rank"`
+	Node     int               `json:"node"`
+	Features FeatureVectorView `json:"features"`
+	Score    UserScoreView     `json:"score"`
+}
+
+// UsersBatchView is the users:batch response body: the requested users in
+// request order. It carries no dataset identity, so eliteanalyze -features
+// emits byte-identical bodies for the same dataset and ranks.
+type UsersBatchView struct {
+	Users []UserFeaturesView `json:"users"`
+}
+
 // NewReportView projects rep into its JSON view. The projection never
 // fails: sections the run skipped come out nil/omitted.
 //
@@ -246,6 +301,7 @@ func NewReportView(rep *Report) *ReportView {
 		Categories: categoriesView(rep.Categories),
 		MutualCore: mutualCoreView(rep.MutualCore),
 		Activity:   activityView(rep.Activity),
+		Features:   featuresView(rep.Features),
 	}
 	// ran reports whether a stage executed, when the report can tell
 	// (ok=false means the report was not timed and the caller must fall
@@ -328,6 +384,8 @@ func StageView(rep *Report, stage string) (any, error) {
 		return v.MutualCore, nil
 	case StageActivity:
 		return v.Activity, nil
+	case StageFeatures:
+		return v.Features, nil
 	}
 	return nil, fmt.Errorf("core: no view for stage %q (known: %v)", stage, StageNames())
 }
@@ -471,6 +529,48 @@ func mutualCoreView(m *MutualCoreAnalysis) *MutualCoreView {
 		})
 	}
 	return v
+}
+
+func featuresView(m *features.Matrix) *FeaturesSummaryView {
+	if m == nil {
+		return nil
+	}
+	return &FeaturesSummaryView{
+		Users:        m.N,
+		Columns:      features.Names(),
+		CoreK:        m.CoreK,
+		Degeneracy:   m.Degeneracy,
+		TailXmin:     JSONFloat(m.TailXmin),
+		TailCount:    m.TailCount,
+		EliteCount:   m.ClassCounts[features.ClassElite],
+		BotCount:     m.ClassCounts[features.ClassBot],
+		RegularCount: m.ClassCounts[features.ClassRegular],
+	}
+}
+
+// NewUserFeaturesView builds one user's feature view from a raw matrix row
+// and the scorer outputs for that row.
+func NewUserFeaturesView(rank, node int, row, probs []float64, class int) UserFeaturesView {
+	return UserFeaturesView{
+		Rank: rank,
+		Node: node,
+		Features: FeatureVectorView{
+			OutDegree:  JSONFloat(row[features.FeatOutDegree]),
+			InDegree:   JSONFloat(row[features.FeatInDegree]),
+			Ratio:      JSONFloat(row[features.FeatRatio]),
+			MutualCore: row[features.FeatMutualCore] != 0,
+			BetwPct:    JSONFloat(row[features.FeatBetweennessPct]),
+			EigenPct:   JSONFloat(row[features.FeatEigenPct]),
+			Clustering: JSONFloat(row[features.FeatClustering]),
+			Tail:       row[features.FeatTail] != 0,
+		},
+		Score: UserScoreView{
+			Class:   features.ClassName(class),
+			Elite:   JSONFloat(probs[features.ClassElite]),
+			Bot:     JSONFloat(probs[features.ClassBot]),
+			Regular: JSONFloat(probs[features.ClassRegular]),
+		},
+	}
 }
 
 func activityView(a *ActivityAnalysis) *ActivityView {

@@ -1,0 +1,61 @@
+package features
+
+import (
+	"testing"
+)
+
+// FuzzFeatureShardDecode throws arbitrary bytes at the shard codec. The
+// contract under test is the cache-miss discipline: a corrupted entry must
+// decode to an error (which the Store treats as a silent miss and the
+// pipeline as a recompute), never a panic, and never a partially-populated
+// Rows fragment whose range disagrees with what the caller asked for.
+func FuzzFeatureShardDecode(f *testing.F) {
+	// Seed the corpus with a real encoded shard plus the classic mutations;
+	// the checked-in files under testdata/fuzz pin the same shapes.
+	m := testMatrix(f, 24)
+	valid := encodeShard(m, 0, m.N)
+	f.Add(valid, m.N)
+	f.Add([]byte{}, 1)
+	f.Add(valid[:len(valid)/3], m.N)
+	f.Add(append(append([]byte{}, valid...), 0x00), m.N)
+	flipped := append([]byte{}, valid...)
+	flipped[0] ^= 0x01 // NumFeatures echo
+	f.Add(flipped, m.N)
+	lenCorrupt := append([]byte{}, valid...)
+	lenCorrupt[3] = 0xFF // count varint region
+	f.Add(lenCorrupt, m.N)
+
+	f.Fuzz(func(t *testing.T, data []byte, wantCount int) {
+		if wantCount < 1 || wantCount > ShardRows {
+			wantCount = 1 + (wantCount&0x7FFFFFFF)%ShardRows
+		}
+		for _, lo := range []int{0, ShardRows} {
+			r, err := decodeShard(data, lo, wantCount)
+			if err != nil {
+				if r != nil {
+					t.Fatalf("error %v with non-nil rows", err)
+				}
+				continue
+			}
+			// A successful decode must be fully hydrated and in range.
+			if r == nil {
+				t.Fatal("nil rows without error")
+			}
+			if r.Lo != lo || r.Count() != wantCount {
+				t.Fatalf("range mismatch: got lo=%d count=%d want lo=%d count=%d",
+					r.Lo, r.Count(), lo, wantCount)
+			}
+			if len(r.Data) != wantCount*NumFeatures ||
+				len(r.Probs) != wantCount*NumClasses ||
+				len(r.Class) != wantCount {
+				t.Fatalf("partial hydration: %d/%d/%d for count=%d",
+					len(r.Data), len(r.Probs), len(r.Class), wantCount)
+			}
+			for i, c := range r.Class {
+				if c >= NumClasses {
+					t.Fatalf("Class[%d]=%d out of range", i, c)
+				}
+			}
+		}
+	})
+}

@@ -68,6 +68,14 @@ func LocalClustering(g *Digraph, u int) float64 {
 	return localClustering(g.Undirected(), u)
 }
 
+// LocalClusteringUndirected is LocalClustering on a graph that is already
+// symmetric (as returned by Undirected): callers that need many per-node
+// coefficients project once and amortize the O(m) projection instead of
+// paying it on every call.
+func LocalClusteringUndirected(und *Digraph, u int) float64 {
+	return localClustering(und, u)
+}
+
 // localClustering computes triangles/(d·(d-1)/2) on an already-symmetric
 // graph.
 func localClustering(und *Digraph, u int) float64 {

@@ -20,9 +20,17 @@
 //   - Prometheus-style /metrics with request, run, and stage-cache
 //     accounting (metrics.go).
 //
+// Per-user feature traffic (features.go) adds one more tier: feature rows
+// are stored as fixed-width shards in the result cache, so a warm
+// /users/{rank}/features or users:batch request decodes one shard instead
+// of running the pipeline — even in a fresh server process sharing the
+// cache directory.
+//
 // Endpoints: GET /healthz, GET /metrics, GET /v1/datasets,
 // GET /v1/datasets/{id}, GET|POST /v1/datasets/{id}/report,
 // GET /v1/datasets/{id}/stages/{stage}, GET /v1/datasets/{id}/users/{rank},
+// GET /v1/datasets/{id}/users/{rank}/features,
+// POST /v1/datasets/{id}/users:batch,
 // GET /v1/jobs/{id}, GET /v1/jobs/{id}/result.
 package serve
 
@@ -41,6 +49,7 @@ import (
 
 	"elites/internal/cache"
 	"elites/internal/core"
+	"elites/internal/features"
 	"elites/internal/gen"
 	"elites/internal/store"
 	"elites/internal/timeseries"
@@ -89,6 +98,13 @@ type dataset struct {
 	byRank   []int32 // node ids, rank 1 first (out-degree desc, node asc)
 	outDeg   []int
 	inDeg    []int
+
+	// featMu guards the per-dataset feature memos: the full matrix (set
+	// after a pipeline run computed it) and individually decoded shards
+	// (hydrated from the result cache without a run). See features.go.
+	featMu   sync.Mutex
+	feat     *features.Matrix
+	shardMem map[int]*features.Rows
 }
 
 // Server is the HTTP serving layer. Construct with New, register datasets,
@@ -102,6 +118,13 @@ type Server struct {
 	bodies     *bodyCache
 	met        *metrics
 	optsDigest uint64
+
+	// shards is the result-cache instance feature shards are read from
+	// (nil when the server runs cache-less); featDigest is the
+	// features.OptionsDigest half of every shard key, fixed at
+	// construction like optsDigest.
+	shards     *cache.Cache
+	featDigest uint64
 
 	mu       sync.Mutex
 	datasets map[string]*dataset
@@ -130,7 +153,16 @@ func New(cfg Config) *Server {
 		bodies:     newBodyCache(cfg.BodyCacheBytes),
 		met:        newMetrics(time.Now()),
 		optsDigest: optionsDigest(cfg.Options),
-		datasets:   map[string]*dataset{},
+		featDigest: features.OptionsDigest(features.Options{
+			BetweennessSources: cfg.Options.BetweennessSources,
+			Seed:               cfg.Options.Seed,
+		}),
+		datasets: map[string]*dataset{},
+	}
+	if cfg.Options.CacheDir != "" && !cfg.Options.NoCache {
+		if cc, err := cache.New(cfg.Options.CacheDir); err == nil {
+			s.shards = cc
+		}
 	}
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
@@ -140,6 +172,8 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/datasets/{id}/report", "report", s.handleReport)
 	s.route("GET /v1/datasets/{id}/stages/{stage}", "stage", s.handleStage)
 	s.route("GET /v1/datasets/{id}/users/{rank}", "user", s.handleUser)
+	s.route("GET /v1/datasets/{id}/users/{rank}/features", "user_features", s.handleUserFeatures)
+	s.route("POST /v1/datasets/{id}/users:batch", "users_batch", s.handleUsersBatch)
 	s.route("GET /v1/jobs/{id}", "job", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", "job_result", s.handleJobResult)
 	return s
@@ -161,6 +195,7 @@ func optionsDigest(o core.Options) uint64 {
 		uint64(o.TopNGrams), o.Seed,
 		boolWord(o.SkipEigen), boolWord(o.SkipBetweenness),
 		boolWord(o.SkipBootstrap), boolWord(o.SkipCategories),
+		boolWord(o.Features),
 	} {
 		h.Word(v)
 	}
@@ -269,23 +304,15 @@ func (s *Server) dataset(id string) (*dataset, bool) {
 	return d, ok
 }
 
-// ranking memoizes the out-degree ranking used by the per-user endpoint.
+// ranking memoizes the out-degree ranking used by the per-user endpoints
+// (features.RankByOutDegree is the single definition of the order, shared
+// with eliteanalyze -features so batch bodies compare byte-for-byte).
 func (d *dataset) ranking() ([]int32, []int, []int) {
 	d.rankOnce.Do(func() {
 		g := d.ds.Graph
 		d.outDeg = g.OutDegrees()
 		d.inDeg = g.InDegrees()
-		d.byRank = make([]int32, g.NumNodes())
-		for i := range d.byRank {
-			d.byRank[i] = int32(i)
-		}
-		sort.SliceStable(d.byRank, func(a, b int) bool {
-			da, db := d.outDeg[d.byRank[a]], d.outDeg[d.byRank[b]]
-			if da != db {
-				return da > db
-			}
-			return d.byRank[a] < d.byRank[b]
-		})
+		d.byRank = features.RankByOutDegree(g)
 	})
 	return d.byRank, d.outDeg, d.inDeg
 }

@@ -5,9 +5,11 @@
 #
 # Covered: sharded Brandes betweenness (worker budgets 1/2/4/8), the CSN
 # goodness-of-fit bootstrap (1/2/8), the full characterization cold vs.
-# warm result cache, and the HTTP serving layer's cold vs. warm report
+# warm result cache, the HTTP serving layer's cold vs. warm report
 # request latency (eliteserve's stack: router, coalescer, admission,
-# pipeline, encoding).
+# pipeline, encoding), the bulk per-user feature matrix pass (1/8), and
+# warm users:batch requests (encoded-body memo vs. precomputed feature
+# shards).
 #
 # Benchmark names are normalized (the trailing -GOMAXPROCS suffix is
 # stripped) so baselines survive a change in core count; allocation stats
@@ -32,7 +34,7 @@ MODE="${1:-record}"
 BENCHTIME="${BENCHTIME:-2x}"
 OUT="${OUT:-BENCH_results.json}"
 BASELINE="${BASELINE:-BENCH_results.json}"
-PATTERN="${PATTERN:-BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache|BenchmarkServeRequest}"
+PATTERN="${PATTERN:-BenchmarkBetweennessParallel|BenchmarkBootstrapParallel|BenchmarkCharacterizationCache|BenchmarkServeRequest|BenchmarkFeatureMatrix|BenchmarkServeUserBatch}"
 GATE_PATTERN="${GATE_PATTERN:-}"
 GATE_MAX="${GATE_MAX:-}"
 
