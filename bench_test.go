@@ -56,7 +56,11 @@ func fixtures(b *testing.B) (*twitter.Platform, *twitter.Dataset, *timeseries.Da
 			panic(err)
 		}
 		fixPlatform = p
-		fixDataset = twitter.DatasetFromPlatform(p)
+		ds, err := twitter.DatasetFromPlatform(p)
+		if err != nil {
+			panic(err)
+		}
+		fixDataset = ds
 		fixActivity = p.ActivitySeries(p.EnglishNodes())
 		g, err := gen.Twitter(benchN, 2)
 		if err != nil {

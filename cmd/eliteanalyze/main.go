@@ -129,7 +129,10 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 		if err != nil {
 			return err
 		}
-		ds = elites.DatasetFromPlatform(p)
+		ds, err = elites.DatasetFromPlatform(p)
+		if err != nil {
+			return err
+		}
 		activity = p.ActivitySeries(p.EnglishNodes())
 	}
 	opts := elites.Options{

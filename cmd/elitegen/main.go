@@ -49,7 +49,10 @@ func run(n int, seed uint64, out, kind string) error {
 	if err != nil {
 		return err
 	}
-	ds := elites.DatasetFromPlatform(p)
+	ds, err := elites.DatasetFromPlatform(p)
+	if err != nil {
+		return err
+	}
 	activity := p.ActivitySeries(p.EnglishNodes())
 	fmt.Printf("generated %d verified users (%d english), %d edges in %v\n",
 		p.NumVerified(), ds.Graph.NumNodes(), ds.Graph.NumEdges(),

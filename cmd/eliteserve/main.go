@@ -74,29 +74,51 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 8, "runs waiting for a slot before requests are shed with 429 (-1 = no queue)")
 		asyncAfter = flag.Duration("async-after", 30*time.Second, "latency budget before a cold POST detaches into a job (0 = always synchronous)")
 		bodyCache  = flag.Int64("body-cache", 0, "encoded-response-body memo cap in bytes (0 = default 64 MiB, -1 = disable)")
+
+		// Robustness knobs. -faults is a chaos-testing hook: it injects
+		// deterministic failures into the serving path (stage errors/panics,
+		// cache I/O errors, ...) so operators can rehearse degraded serving;
+		// the ELITES_FAULTS env var is the flagless fallback.
+		stageRetries = flag.Int("stage-retries", 0, "re-run a failed (non-panicking) stage up to this many times before degrading the report")
+		faultSpec    = flag.String("faults", "", `inject deterministic faults, e.g. "stage:degree=error,cache:read=ioerror:times=all" (testing; overrides $ELITES_FAULTS)`)
+		faultSeed    = flag.Uint64("faults-seed", 1, "seed for probabilistic fault rules")
 	)
 	flag.Var(&dataFlags, "data", "register a dataset directory as id=path (repeatable)")
 	flag.Var(&genFlags, "gen", "register a generated dataset as id=kind:n:seed, kind verified|twitter (repeatable)")
 	flag.Parse()
 
 	if err := run(*addr, *seed, *fast, *parallel, *cacheDir, *cacheMem,
-		*maxConc, *maxQueue, *asyncAfter, *bodyCache, dataFlags, genFlags); err != nil {
+		*maxConc, *maxQueue, *asyncAfter, *bodyCache,
+		*stageRetries, *faultSpec, *faultSeed, dataFlags, genFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "eliteserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cacheMem int64,
-	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64, dataFlags, genFlags []string) error {
+	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64,
+	stageRetries int, faultSpec string, faultSeed uint64, dataFlags, genFlags []string) error {
 	opts := elites.Options{
 		Seed: seed, Parallelism: parallel,
 		CacheDir: cacheDir, CacheMemBytes: cacheMem,
+		StageRetries: stageRetries,
 	}
 	if fast {
 		opts.SkipEigen = true
 		opts.SkipBetweenness = true
 		opts.SkipBootstrap = true
 		opts.DistanceSources = 100
+	}
+	if faultSpec == "" {
+		faultSpec = os.Getenv("ELITES_FAULTS")
+	}
+	if faultSpec != "" {
+		inj, err := elites.ParseFaults(faultSpec, faultSeed)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		opts.Faults = inj
+		fmt.Fprintf(os.Stderr, "eliteserve: FAULT INJECTION ACTIVE (%s)\n", faultSpec)
 	}
 	srv := elites.NewServer(elites.ServerConfig{
 		Options:        opts,

@@ -37,7 +37,7 @@
 // # Quick start
 //
 //	p, _ := elites.NewPlatform(elites.DefaultPlatformConfig(5000))
-//	ds := elites.DatasetFromPlatform(p)
+//	ds, _ := elites.DatasetFromPlatform(p)
 //	rep, _ := elites.NewCharacterizer(elites.Options{}).Run(ds, p.ActivitySeries(p.EnglishNodes()))
 //	rep.Render(os.Stdout)
 //
@@ -50,6 +50,7 @@ import (
 
 	"elites/internal/centrality"
 	"elites/internal/core"
+	"elites/internal/faults"
 	"elites/internal/features"
 	"elites/internal/gen"
 	"elites/internal/graph"
@@ -308,6 +309,18 @@ var (
 	// ErrServerBusy is what shed requests fail with (HTTP 429).
 	ErrServerBusy = serve.ErrBusy
 )
+
+// --- Fault injection -------------------------------------------------------------
+
+// FaultInjector is the deterministic fault-injection layer (Options.Faults):
+// seeded, rule-based injection of stage errors, panics, latency, cache I/O
+// failures and cancellations, for chaos testing the pipeline and server.
+type FaultInjector = faults.Injector
+
+// ParseFaults compiles a fault spec ("point=kind{:key=value},..." — e.g.
+// "stage:degree=panic,cache:read=ioerror:times=all") into an injector;
+// seed drives probabilistic rules. See internal/faults for the grammar.
+var ParseFaults = faults.Parse
 
 // --- Statistics toolkits ---------------------------------------------------------
 

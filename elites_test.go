@@ -19,7 +19,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dataset := DatasetFromPlatform(platform)
+	dataset, err := DatasetFromPlatform(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dataset.Graph.NumNodes() == 0 || len(dataset.Profiles) != dataset.Graph.NumNodes() {
 		t.Fatal("dataset malformed")
 	}

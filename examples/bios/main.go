@@ -18,7 +18,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dataset := elites.DatasetFromPlatform(platform)
+	dataset, err := elites.DatasetFromPlatform(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("analyzing %d english verified bios\n", len(dataset.Profiles))
 
 	uni := text.NewCounter(1)

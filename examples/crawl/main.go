@@ -43,7 +43,10 @@ func main() {
 		dataset.SimulatedTime.Round(time.Minute), time.Since(wall).Round(time.Millisecond))
 
 	// The crawler's output must equal the platform's ground truth.
-	truth := elites.DatasetFromPlatform(platform)
+	truth, err := elites.DatasetFromPlatform(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nground truth check: crawled %d edges, platform holds %d → match: %v\n",
 		dataset.Graph.NumEdges(), truth.Graph.NumEdges(),
 		dataset.Graph.NumEdges() == truth.Graph.NumEdges())

@@ -24,7 +24,10 @@ func main() {
 
 	// The dataset is the English verified sub-graph with aligned profiles
 	// — the artifact the paper's analyses consume.
-	dataset := elites.DatasetFromPlatform(platform)
+	dataset, err := elites.DatasetFromPlatform(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset: %d english verified users, %d follow edges\n\n",
 		dataset.Graph.NumNodes(), dataset.Graph.NumEdges())
 

@@ -17,12 +17,21 @@
 // corrupted cache silently degrades to recomputation. Writes go through a
 // temp file and an atomic rename, so concurrent writers of the same key
 // (identical content by construction) cannot tear each other's files.
+//
+// The same silent-miss contract covers I/O failure, not just corruption: a
+// disk that errors on read or write (EACCES, ENOSPC, short writes, rename
+// failure) costs a recomputation, never a report. Consecutive I/O errors
+// trip a per-cache circuit breaker that stops touching the failing disk —
+// the memory tier keeps serving — and periodically lets one half-open probe
+// through; a probe that succeeds closes the breaker. Stats surfaces the
+// error count and breaker state.
 package cache
 
 import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -122,12 +131,15 @@ func checksum(data []byte) uint64 {
 
 // Stats counts cache traffic since the process started.
 type Stats struct {
-	Hits       uint64 // memory or disk hits
-	Misses     uint64
-	Evictions  uint64 // memory-tier entries dropped to stay under the cap
-	MemEntries int
-	MemBytes   int64
-	MaxBytes   int64 // current memory-tier capacity
+	Hits         uint64 // memory or disk hits
+	Misses       uint64
+	Evictions    uint64 // memory-tier entries dropped to stay under the cap
+	MemEntries   int
+	MemBytes     int64
+	MaxBytes     int64  // current memory-tier capacity
+	IOErrors     uint64 // disk operations that failed with a real I/O error
+	BreakerTrips uint64 // times the disk circuit breaker opened
+	BreakerOpen  bool   // disk circuit breaker currently open
 }
 
 // DefaultMemBytes caps the in-memory tier per cache instance.
@@ -146,6 +158,71 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	fs     diskFS                // disk tier backend; osFS outside tests
+	faults func(op string) error // optional injection hook (SetFaults)
+	io     breaker               // disk-tier circuit breaker + error counters
+}
+
+// breaker tracks disk-tier health: consecutive I/O errors trip it open, and
+// while open the cache skips disk entirely except for a periodic half-open
+// probe. A successful disk operation (including a clean miss) closes it.
+// Guarded by Cache.mu.
+type breaker struct {
+	errors uint64 // lifetime I/O error count (Stats.IOErrors)
+	consec int    // consecutive I/O errors since the last success
+	open   bool
+	skips  int    // disk ops skipped while open, for probe cadence
+	trips  uint64 // lifetime open transitions (Stats.BreakerTrips)
+}
+
+// Breaker thresholds: trip after breakerTripAfter consecutive I/O errors;
+// while open, let every breakerProbeAfter-th skipped operation through as a
+// half-open probe.
+const (
+	breakerTripAfter  = 3
+	breakerProbeAfter = 8
+)
+
+// diskResult classifies one disk-tier operation for the breaker.
+type diskResult int
+
+const (
+	diskOK      diskResult = iota // operation succeeded
+	diskMiss                      // clean miss (absent or corrupt entry) — the disk itself is fine
+	diskIOError                   // the disk failed (read/write/rename error, ENOSPC, injected fault)
+)
+
+// diskFS is the filesystem surface the disk tier uses; tests substitute a
+// faulting implementation to exercise every I/O error path.
+type diskFS interface {
+	ReadFile(name string) ([]byte, error)
+	MkdirAll(dir string) error
+	CreateTemp(dir, pattern string) (diskFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// diskFile is the subset of *os.File the writer needs.
+type diskFile interface {
+	io.Writer
+	Close() error
+	Name() string
+}
+
+// osFS is the production diskFS.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+func (osFS) Rename(o, n string) error             { return os.Rename(o, n) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) CreateTemp(dir, pattern string) (diskFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 type entry struct {
@@ -181,9 +258,22 @@ func New(dir string) (*Cache, error) {
 		mem:      map[string]*list.Element{},
 		lru:      list.New(),
 		maxBytes: DefaultMemBytes,
+		fs:       osFS{},
 	}
 	registry[abs] = c
 	return c, nil
+}
+
+// SetFaults installs (or, with nil, removes) a fault-injection hook consulted
+// before every disk operation ("read", "write", "store"). A non-nil error
+// from the hook is treated exactly like a real I/O failure at that point —
+// this is how the chaos suite drives the breaker without a broken disk.
+// Because New shares one instance per directory, the hook applies to every
+// holder of that directory's cache.
+func (c *Cache) SetFaults(fn func(op string) error) {
+	c.mu.Lock()
+	c.faults = fn
+	c.mu.Unlock()
 }
 
 // Release drops the instance registered for dir: its memory tier is freed
@@ -228,7 +318,7 @@ func (c *Cache) SetMaxBytes(n int64) {
 // Get returns the payload stored under key, consulting the memory tier
 // first, then disk (promoting disk hits into memory). The returned slice
 // must not be modified. ok is false on any miss, including a corrupted or
-// truncated disk entry.
+// truncated disk entry and any disk I/O failure.
 func (c *Cache) Get(key string) (data []byte, ok bool) {
 	c.mu.Lock()
 	if el, hit := c.mem[key]; hit {
@@ -238,12 +328,19 @@ func (c *Cache) Get(key string) (data []byte, ok bool) {
 		c.mu.Unlock()
 		return data, true
 	}
+	allowed := c.diskAllowedLocked()
 	c.mu.Unlock()
 
-	data, ok = c.readFile(key)
+	res := diskMiss
+	if allowed {
+		data, res = c.readFile(key)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !ok {
+	if allowed {
+		c.noteDiskLocked(res)
+	}
+	if res != diskOK {
 		c.misses++
 		return nil, false
 	}
@@ -254,12 +351,52 @@ func (c *Cache) Get(key string) (data []byte, ok bool) {
 
 // Put stores payload under key in both tiers. Failures to persist (read-only
 // filesystem, full disk) are deliberately swallowed: the cache is an
-// accelerator, never a correctness dependency.
+// accelerator, never a correctness dependency. They do feed the circuit
+// breaker, so a persistently failing disk stops being touched at all.
 func (c *Cache) Put(key string, data []byte) {
 	c.mu.Lock()
 	c.insert(key, data)
+	allowed := c.diskAllowedLocked()
 	c.mu.Unlock()
-	c.writeFile(key, data)
+	if !allowed {
+		return
+	}
+	res := c.writeFile(key, data)
+	c.mu.Lock()
+	c.noteDiskLocked(res)
+	c.mu.Unlock()
+}
+
+// diskAllowedLocked reports whether the next disk operation may proceed:
+// always when the breaker is closed, and as a periodic half-open probe when
+// open. Callers hold mu.
+func (c *Cache) diskAllowedLocked() bool {
+	if !c.io.open {
+		return true
+	}
+	c.io.skips++
+	return c.io.skips%breakerProbeAfter == 0
+}
+
+// noteDiskLocked feeds one attempted disk operation's outcome to the
+// breaker. Callers hold mu.
+func (c *Cache) noteDiskLocked(res diskResult) {
+	switch res {
+	case diskOK, diskMiss:
+		c.io.consec = 0
+		if c.io.open {
+			c.io.open = false
+			c.io.skips = 0
+		}
+	case diskIOError:
+		c.io.errors++
+		c.io.consec++
+		if c.io.consec >= breakerTripAfter && !c.io.open {
+			c.io.open = true
+			c.io.skips = 0
+			c.io.trips++
+		}
+	}
 }
 
 // insert adds or refreshes a memory entry and evicts LRU entries over the
@@ -308,6 +445,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		MemEntries: c.lru.Len(), MemBytes: c.memBytes, MaxBytes: c.maxBytes,
+		IOErrors: c.io.errors, BreakerTrips: c.io.trips, BreakerOpen: c.io.open,
 	}
 }
 
@@ -321,12 +459,39 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".bin")
 }
 
-// readFile loads and validates one disk entry; every failure mode is a miss.
-func (c *Cache) readFile(key string) ([]byte, bool) {
-	raw, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return nil, false
+// faultHook snapshots the injection hook under the lock.
+func (c *Cache) faultHook() func(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// readFile loads and validates one disk entry. An absent or corrupt entry
+// is a clean miss; a filesystem error (or injected "read" fault) is an I/O
+// error for the breaker. Either way the caller sees a miss.
+func (c *Cache) readFile(key string) ([]byte, diskResult) {
+	if ff := c.faultHook(); ff != nil {
+		if err := ff("read"); err != nil {
+			return nil, diskIOError
+		}
 	}
+	raw, err := c.fs.ReadFile(c.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, diskMiss
+		}
+		return nil, diskIOError
+	}
+	payload, ok := decodeEntry(key, raw)
+	if !ok {
+		return nil, diskMiss
+	}
+	return payload, diskOK
+}
+
+// decodeEntry parses and validates one "ELCA" disk entry against the key it
+// should hold. ok is false on any framing, echo or checksum failure.
+func decodeEntry(key string, raw []byte) (payload []byte, ok bool) {
 	if len(raw) < len(diskMagic) || string(raw[:len(diskMagic)]) != diskMagic {
 		return nil, false
 	}
@@ -340,7 +505,7 @@ func (c *Cache) readFile(key string) ([]byte, bool) {
 	if !ok || string(echo) != key {
 		return nil, false
 	}
-	payload, rest, ok := readLenPrefixed(rest)
+	payload, rest, ok = readLenPrefixed(rest)
 	if !ok || len(rest) != 8 {
 		return nil, false
 	}
@@ -358,12 +523,8 @@ func readLenPrefixed(b []byte) (field, rest []byte, ok bool) {
 	return b[n : n+int(l)], b[n+int(l):], true
 }
 
-// writeFile persists one entry atomically: temp file in the same directory,
-// then rename over the final name. Errors are swallowed (see Put).
-func (c *Cache) writeFile(key string, payload []byte) {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return
-	}
+// encodeEntry frames one payload in the "ELCA" disk format.
+func encodeEntry(key string, payload []byte) []byte {
 	var buf []byte
 	buf = append(buf, diskMagic...)
 	buf = binary.AppendUvarint(buf, diskVersion)
@@ -371,23 +532,48 @@ func (c *Cache) writeFile(key string, payload []byte) {
 	buf = append(buf, key...)
 	buf = binary.AppendUvarint(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
-	buf = binary.LittleEndian.AppendUint64(buf, checksum(payload))
+	return binary.LittleEndian.AppendUint64(buf, checksum(payload))
+}
 
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+// writeFile persists one entry atomically: temp file in the same directory,
+// then rename over the final name. Errors are swallowed (see Put) but
+// classified for the breaker: a short write, a failed close, a failed
+// rename and the injected "write"/"store" faults all count as I/O errors,
+// and the temp file is removed so a torn write can never hydrate a reader.
+func (c *Cache) writeFile(key string, payload []byte) diskResult {
+	ff := c.faultHook()
+	if ff != nil {
+		if err := ff("write"); err != nil {
+			return diskIOError
+		}
+	}
+	if err := c.fs.MkdirAll(c.dir); err != nil {
+		return diskIOError
+	}
+	buf := encodeEntry(key, payload)
+	tmp, err := c.fs.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
-		return
+		return diskIOError
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
+	if n, err := tmp.Write(buf); err != nil || n < len(buf) {
 		tmp.Close()
-		os.Remove(name)
-		return
+		c.fs.Remove(name)
+		return diskIOError
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return
+		c.fs.Remove(name)
+		return diskIOError
 	}
-	if err := os.Rename(name, c.path(key)); err != nil {
-		os.Remove(name)
+	if ff != nil {
+		if err := ff("store"); err != nil {
+			c.fs.Remove(name)
+			return diskIOError
+		}
 	}
+	if err := c.fs.Rename(name, c.path(key)); err != nil {
+		c.fs.Remove(name)
+		return diskIOError
+	}
+	return diskOK
 }

@@ -63,9 +63,9 @@ func TestDiskSurvivesColdMemory(t *testing.T) {
 	payload := []byte{1, 2, 3, 4, 5}
 	c.Put(key, payload)
 
-	got, ok := c.readFile(key)
-	if !ok || !bytes.Equal(got, payload) {
-		t.Fatalf("readFile = %v, %v; want payload back", got, ok)
+	got, res := c.readFile(key)
+	if res != diskOK || !bytes.Equal(got, payload) {
+		t.Fatalf("readFile = %v, %v; want payload back", got, res)
 	}
 }
 
@@ -98,7 +98,7 @@ func TestCorruptedEntriesAreMisses(t *testing.T) {
 		if err := os.WriteFile(path, mk(), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := c.readFile(key); ok {
+		if _, res := c.readFile(key); res == diskOK {
 			t.Errorf("%s: corrupted entry served as a hit", name)
 		}
 	}
@@ -108,7 +108,7 @@ func TestCorruptedEntriesAreMisses(t *testing.T) {
 	if err := os.WriteFile(c.path(other), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.readFile(other); ok {
+	if _, res := c.readFile(other); res == diskOK {
 		t.Error("entry with mismatched key echo served as a hit")
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"elites/internal/cache"
 	"elites/internal/centrality"
+	"elites/internal/faults"
 	"elites/internal/features"
 	"elites/internal/graph"
 	"elites/internal/mathx"
@@ -115,6 +116,24 @@ type Options struct {
 	// each), which is what lets eliteserve answer per-user feature
 	// requests without running the pipeline.
 	Features bool
+	// StageRetries re-runs a failed (non-panicking) stage up to this many
+	// extra times before recording the failure; 0 disables retries. Stages
+	// are deterministic, so retries exist for environmental failures —
+	// cache hydration races, injected faults — not flaky math.
+	StageRetries int
+	// StageRetryBackoff is the base delay between retry attempts, doubling
+	// per attempt (0 = 10ms). It never affects results, only latency.
+	StageRetryBackoff time.Duration
+	// StageTimeout bounds each stage's wall clock; a stage that overruns
+	// fails with pipeline.ErrStageTimeout and the rest of the battery
+	// continues. 0 disables per-stage deadlines.
+	StageTimeout time.Duration
+	// Faults, when non-nil, is the deterministic fault-injection layer: the
+	// scheduler consults it before every stage attempt and the result cache
+	// before every disk operation. Production runs leave it nil; the chaos
+	// suite and eliteserve's hidden -faults flag use it to rehearse
+	// failures. It never enters cache keys.
+	Faults *faults.Injector
 }
 
 // Pipeline stage names, in canonical (paper) order.
@@ -150,10 +169,23 @@ func StageNames() []string {
 
 // StageTiming is one executed pipeline stage's measured wall clock.
 // CacheHit marks stages hydrated from the result cache instead of computed.
+// A failed stage carries its error (a *pipeline.StagePanicError for
+// contained panics, stack included); a stage skipped because a dependency
+// failed carries Skipped plus an error wrapping pipeline.ErrDependencySkipped.
 type StageTiming struct {
 	Name     string
 	Duration time.Duration
 	CacheHit bool
+	// Err is nil for stages that completed; view rendering turns non-nil
+	// entries into the report's structured stage_errors. Excluded from JSON
+	// (error values don't marshal usefully) — ReportView carries the
+	// rendered form.
+	Err error `json:"-"`
+	// Skipped marks stages that never executed because a dependency failed
+	// or the run was cancelled.
+	Skipped bool
+	// Retries counts re-run attempts beyond the first under StageRetries.
+	Retries int
 }
 
 // CacheReport summarizes result-cache traffic for one Run (only stages that
@@ -517,7 +549,11 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 		// the matrix is never partially hydrated.
 		fstore := features.Store{Cache: rcache, Dataset: dsDigest, Options: fdigest}
 		stages = append(stages, withCache(pipeline.Stage{Name: StageFeatures, Run: func() error {
-			rep.Features = features.Compute(ds, fopts)
+			m, err := features.Compute(ds, fopts)
+			if err != nil {
+				return err
+			}
+			rep.Features = m
 			return nil
 		}}, features.ManifestCodecVersion, fdigest,
 			func(e *cache.Encoder) {
@@ -541,6 +577,19 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 	if err != nil {
 		return nil, err
 	}
+	// Per-stage resilience policy: bounded retries with deterministic
+	// backoff and an optional deadline, applied uniformly (panics are never
+	// retried — the pipeline refuses).
+	if c.opts.StageRetries > 0 || c.opts.StageTimeout > 0 {
+		policy := pipeline.RetryPolicy{MaxRetries: c.opts.StageRetries, Backoff: c.opts.StageRetryBackoff}
+		if policy.MaxRetries > 0 && policy.Backoff == 0 {
+			policy.Backoff = 10 * time.Millisecond
+		}
+		for i := range stages {
+			stages[i].Retry = policy
+			stages[i].Timeout = c.opts.StageTimeout
+		}
+	}
 	popts := pipeline.Options{
 		Parallelism: c.opts.Parallelism,
 		Only:        only,
@@ -548,28 +597,46 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 	if rcache != nil {
 		popts.Cache = rcache
 	}
-	if obs := c.opts.StageObserver; obs != nil {
-		popts.Observe = func(tm pipeline.Timing) {
-			obs(StageTiming{Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit})
+	runCtx := ctx
+	if inj := c.opts.Faults; inj != nil {
+		// Give KindCancel rules this run's own cancel, hook the scheduler,
+		// and hook the (per-directory shared) cache for the run's duration.
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		inj.BindCancel(cancel)
+		defer inj.BindCancel(nil)
+		popts.Intercept = inj.Stage
+		if rcache != nil {
+			rcache.SetFaults(inj.Cache)
+			defer rcache.SetFaults(nil)
 		}
 	}
-	timings, err := pipeline.RunContext(ctx, stages, popts)
-	if err != nil {
-		return nil, err
+	if obs := c.opts.StageObserver; obs != nil {
+		popts.Observe = func(tm pipeline.Timing) {
+			obs(StageTiming{Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
+				Err: tm.Err, Skipped: tm.Skipped, Retries: tm.Retries})
+		}
 	}
+	timings, runErr := pipeline.RunContext(runCtx, stages, popts)
 	if c.opts.Timings {
 		for _, tm := range timings {
-			if !tm.Skipped {
-				rep.Timings = append(rep.Timings, StageTiming{
-					Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
-				})
+			// Deselected stages stay invisible; failed stages and
+			// dependency/cancellation skips surface so a degraded report
+			// can say exactly what is missing and why.
+			if tm.Skipped && tm.Err == nil {
+				continue
 			}
+			rep.Timings = append(rep.Timings, StageTiming{
+				Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
+				Err: tm.Err, Skipped: tm.Skipped, Retries: tm.Retries,
+			})
 		}
 	}
 	if rcache != nil {
 		cr := &CacheReport{Dir: rcache.Dir(), Evictions: rcache.Stats().Evictions}
 		for i, tm := range timings {
-			if stages[i].CacheKey == "" || tm.Skipped {
+			if stages[i].CacheKey == "" || tm.Skipped || tm.Err != nil {
 				continue
 			}
 			if tm.CacheHit {
@@ -579,6 +646,13 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 			}
 		}
 		rep.Cache = cr
+	}
+	if runErr != nil {
+		// Partial report: stages that completed keep their results, the
+		// error (and Timings, when requested) says what failed. Callers that
+		// want all-or-nothing keep their `if err != nil` guard; the serving
+		// layer renders what survived.
+		return rep, runErr
 	}
 	return rep, nil
 }

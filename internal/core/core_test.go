@@ -24,7 +24,11 @@ func testPlatform(t *testing.T) (*twitter.Platform, *twitter.Dataset) {
 			t.Fatal(err)
 		}
 		cachedPlatform = p
-		cachedDataset = twitter.DatasetFromPlatform(p)
+		ds, err := twitter.DatasetFromPlatform(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedDataset = ds
 	}
 	return cachedPlatform, cachedDataset
 }

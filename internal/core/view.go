@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	"elites/internal/features"
 	"elites/internal/graph"
+	"elites/internal/pipeline"
 	"elites/internal/powerlaw"
 	"elites/internal/stats"
 	"elites/internal/text"
@@ -67,6 +69,29 @@ type ReportView struct {
 	MutualCore  *MutualCoreView          `json:"mutual_core,omitempty"`
 	Activity    *ActivityView            `json:"activity,omitempty"`
 	Features    *FeaturesSummaryView     `json:"features,omitempty"`
+	// Degraded marks a partial report: one or more stages failed and their
+	// sections are missing. Clean reports omit both fields entirely, so a
+	// degraded-then-recovered dataset serves bodies byte-identical to a
+	// never-faulted run. The fields sort last in the struct so every clean
+	// section keeps its position.
+	Degraded    bool             `json:"degraded,omitempty"`
+	StageErrors []StageErrorView `json:"stage_errors,omitempty"`
+}
+
+// StageErrorView is one failed (or fault-skipped) stage's structured error
+// entry in a degraded report.
+type StageErrorView struct {
+	Stage string `json:"stage"`
+	Error string `json:"error"`
+	// Panic marks stages whose failure was a contained panic; Stack is the
+	// goroutine stack captured at the panic site.
+	Panic bool   `json:"panic,omitempty"`
+	Stack string `json:"stack,omitempty"`
+	// Skipped marks stages that never executed (failed dependency or
+	// cancelled run) rather than failed themselves.
+	Skipped bool `json:"skipped,omitempty"`
+	// Retries counts failed re-run attempts beyond the first.
+	Retries int `json:"retries,omitempty"`
 }
 
 // SummaryView mirrors the §III dataset table.
@@ -303,19 +328,39 @@ func NewReportView(rep *Report) *ReportView {
 		Activity:   activityView(rep.Activity),
 		Features:   featuresView(rep.Features),
 	}
-	// ran reports whether a stage executed, when the report can tell
-	// (ok=false means the report was not timed and the caller must fall
-	// back to zero-value sniffing).
+	// ran reports whether a stage executed successfully, when the report can
+	// tell (ok=false means the report was not timed and the caller must fall
+	// back to zero-value sniffing). Failed and skipped stages are present in
+	// Timings but did not produce a section — a degraded report must not
+	// render their zero values as results.
 	ran := func(stage string) (yes, ok bool) {
 		if len(rep.Timings) == 0 {
 			return false, false
 		}
 		for _, tm := range rep.Timings {
 			if tm.Name == stage {
-				return true, true
+				return tm.Err == nil && !tm.Skipped, true
 			}
 		}
 		return false, true
+	}
+	// A report with failed stages is degraded: surface each failure as a
+	// structured entry, with contained panics carrying their stacks.
+	for _, tm := range rep.Timings {
+		if tm.Err == nil {
+			continue
+		}
+		v.Degraded = true
+		sev := StageErrorView{
+			Stage: tm.Name, Error: tm.Err.Error(),
+			Skipped: tm.Skipped, Retries: tm.Retries,
+		}
+		var pe *pipeline.StagePanicError
+		if errors.As(tm.Err, &pe) {
+			sev.Panic = true
+			sev.Stack = string(pe.Stack)
+		}
+		v.StageErrors = append(v.StageErrors, sev)
 	}
 	if yes, ok := ran(StageSummary); yes || (!ok && rep.Summary.Nodes > 0) {
 		v.Summary = summaryView(rep.Summary)

@@ -24,7 +24,11 @@ func testMatrix(t testing.TB, n int) *Matrix {
 		}
 	}
 	ds := &twitter.Dataset{Graph: b.Build()}
-	return Compute(ds, Options{BetweennessSources: 8, Seed: 9})
+	m, err := Compute(ds, Options{BetweennessSources: 8, Seed: 9})
+	if err != nil {
+		t.Fatalf("compute: %v", err)
+	}
+	return m
 }
 
 func TestShardRoundTrip(t *testing.T) {

@@ -193,8 +193,12 @@ func RankByOutDegree(g *graph.Digraph) []int32 {
 // percentiles, the power-law fit) are computed with the repo's
 // deterministic kernels, and the row fill shards into fixed ShardRows-wide
 // chunks whose layout is independent of the worker count.
-func Compute(ds *twitter.Dataset, opts Options) *Matrix {
-	return computeWith(ds, opts, DefaultScorer())
+func Compute(ds *twitter.Dataset, opts Options) (*Matrix, error) {
+	sc, err := DefaultScorer()
+	if err != nil {
+		return nil, err
+	}
+	return computeWith(ds, opts, sc), nil
 }
 
 // computeWith is Compute with an explicit scorer; a nil scorer leaves

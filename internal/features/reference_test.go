@@ -175,7 +175,11 @@ func canonicalDataset(t testing.TB) *twitter.Dataset {
 	if err != nil {
 		t.Fatalf("platform: %v", err)
 	}
-	return twitter.DatasetFromPlatform(p)
+	ds, err := twitter.DatasetFromPlatform(p)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return ds
 }
 
 // requireMatrixEqual compares every field bit-for-bit.
@@ -211,7 +215,10 @@ func requireMatrixEqual(t *testing.T, want, got *Matrix, label string) {
 var referenceWorkerBudgets = []int{1, 2, 4, 7, 8}
 
 func TestFeatureMatrixReferenceFixtures(t *testing.T) {
-	sc := DefaultScorer()
+	sc, err := DefaultScorer()
+	if err != nil {
+		t.Fatalf("default scorer: %v", err)
+	}
 	opts := Options{BetweennessSources: 16, Seed: 5}
 	for name, ds := range fixtureGraphs(t) {
 		ref := referenceMatrix(ds, opts, sc)
@@ -229,7 +236,10 @@ func TestFeatureMatrixReferenceCanonical(t *testing.T) {
 		t.Skip("canonical graph reference pass is slow")
 	}
 	ds := canonicalDataset(t)
-	sc := DefaultScorer()
+	sc, err := DefaultScorer()
+	if err != nil {
+		t.Fatalf("default scorer: %v", err)
+	}
 	opts := Options{BetweennessSources: 32, Seed: 3}
 	ref := referenceMatrix(ds, opts, sc)
 	for _, workers := range referenceWorkerBudgets {
@@ -246,11 +256,18 @@ func TestFeatureMatrixReferenceCanonical(t *testing.T) {
 func TestFeatureMatrixWorkerInvariance(t *testing.T) {
 	ds := canonicalDataset(t)
 	opts := Options{BetweennessSources: 32, Seed: 3, Parallelism: 1}
-	base := Compute(ds, opts)
+	base, err := Compute(ds, opts)
+	if err != nil {
+		t.Fatalf("compute: %v", err)
+	}
 	for _, workers := range referenceWorkerBudgets[1:] {
 		o := opts
 		o.Parallelism = workers
-		requireMatrixEqual(t, base, Compute(ds, o), "workers="+itoa(workers))
+		got, gerr := Compute(ds, o)
+		if gerr != nil {
+			t.Fatalf("compute workers=%d: %v", workers, gerr)
+		}
+		requireMatrixEqual(t, base, got, "workers="+itoa(workers))
 	}
 }
 

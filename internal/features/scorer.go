@@ -126,14 +126,14 @@ func (s *Scorer) Score(row []float64, probs []float64) int {
 // network (celebrity sinks = elite labels) with trainBots injected
 // bot-shaped nodes — each follows many drawn targets and is followed by
 // nobody. The graph and labels are pure functions of the seed.
-func trainingGraph(seed uint64) (*twitter.Dataset, []uint8) {
+func trainingGraph(seed uint64) (*twitter.Dataset, []uint8, error) {
 	cfg := gen.VerifiedDefaults(trainNodes)
 	cfg.Seed = seed
 	cfg.CelebrityFraction = 0.02 // enough elite examples at this scale
 	cfg.IsolatedFraction = 0.01
 	res, err := gen.Generate(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("features: training config invalid: %v", err))
+		return nil, nil, fmt.Errorf("features: training config invalid: %w", err)
 	}
 	g := res.Graph
 	n := g.NumNodes()
@@ -164,21 +164,24 @@ func trainingGraph(seed uint64) (*twitter.Dataset, []uint8) {
 	}
 	// No Profiles: FeatRatio falls back to in-degree/out-degree, exactly
 	// what a served dataset without profile metadata sees.
-	return &twitter.Dataset{Graph: b.Build()}, labels
+	return &twitter.Dataset{Graph: b.Build()}, labels, nil
 }
 
 // Train fits the scorer on the fixed seed schedule with full-batch gradient
 // descent. The result is bit-identical for any workers value: the worker
 // budget only reaches the feature computation, which is itself invariant,
 // and the descent loop is serial with samples visited in node order.
-func Train(workers int) *Scorer {
+func Train(workers int) (*Scorer, error) {
 	type sample struct {
 		z     [NumFeatures]float64
 		label uint8
 	}
 	var samples []sample
 	for _, seed := range trainSeeds {
-		ds, labels := trainingGraph(seed)
+		ds, labels, err := trainingGraph(seed)
+		if err != nil {
+			return nil, err
+		}
 		m := computeWith(ds, Options{
 			Seed:               seed,
 			BetweennessSources: trainBetwSrcs,
@@ -228,7 +231,7 @@ func Train(workers int) *Scorer {
 			sc.W[i] -= trainRate * (grad[i]*inv + trainL2*sc.W[i])
 		}
 	}
-	return sc
+	return sc, nil
 }
 
 func b2f(b bool) float64 {
@@ -241,12 +244,15 @@ func b2f(b bool) float64 {
 var (
 	defaultScorerOnce sync.Once
 	defaultScorer     *Scorer
+	defaultScorerErr  error
 )
 
 // DefaultScorer returns the process-wide scorer trained once on the fixed
 // seed schedule (Train(0)). Every caller shares the same weights, so
-// reports scored in different processes agree bit-for-bit.
-func DefaultScorer() *Scorer {
-	defaultScorerOnce.Do(func() { defaultScorer = Train(0) })
-	return defaultScorer
+// reports scored in different processes agree bit-for-bit. Training
+// failures (an invalid built-in config) are memoized too: every caller
+// sees the same error rather than a panic.
+func DefaultScorer() (*Scorer, error) {
+	defaultScorerOnce.Do(func() { defaultScorer, defaultScorerErr = Train(0) })
+	return defaultScorer, defaultScorerErr
 }

@@ -15,9 +15,18 @@ func TestScorerTrainDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training runs the feature pipeline on three generated graphs")
 	}
-	base := Train(1)
-	again := Train(1)
-	wide := Train(7)
+	base, err := Train(1)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	again, err := Train(1)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	wide, err := Train(7)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
 	if len(base.W) != NumClasses*(NumFeatures+1) {
 		t.Fatalf("weight shape: %d", len(base.W))
 	}
@@ -40,8 +49,14 @@ func TestScorerHoldoutAUC(t *testing.T) {
 	if testing.Short() {
 		t.Skip("holdout scoring runs the feature pipeline")
 	}
-	sc := DefaultScorer()
-	ds, labels := trainingGraph(holdoutSeed)
+	sc, err := DefaultScorer()
+	if err != nil {
+		t.Fatalf("default scorer: %v", err)
+	}
+	ds, labels, terr := trainingGraph(holdoutSeed)
+	if terr != nil {
+		t.Fatalf("training graph: %v", terr)
+	}
 	m := computeWith(ds, Options{BetweennessSources: trainBetwSrcs, Seed: holdoutSeed}, nil)
 
 	probs := make([]float64, NumClasses)
@@ -102,7 +117,10 @@ func oneVsRestAUC(scores [][NumClasses]float64, labels []uint8, class int) float
 // give identical probabilities, and the returned class is the argmax with
 // lowest-index tie-breaking.
 func TestScorerScoreStable(t *testing.T) {
-	sc := DefaultScorer()
+	sc, err := DefaultScorer()
+	if err != nil {
+		t.Fatalf("default scorer: %v", err)
+	}
 	row := make([]float64, NumFeatures)
 	row[FeatOutDegree] = 120
 	row[FeatInDegree] = 3400

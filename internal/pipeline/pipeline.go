@@ -23,6 +23,14 @@
 // closures have no cancellation points), but no further stage starts, which
 // is what lets a serving layer abandon a battery the client stopped waiting
 // for without burning every remaining worker-hour.
+//
+// Failure containment: a panic inside a stage (its Run, Encode, Decode or
+// the Intercept hook) is recovered into a typed *StagePanicError carrying
+// the captured stack — the stage fails, its dependents are skipped, and the
+// process survives. Stages may additionally declare a RetryPolicy (bounded
+// re-runs with deterministic exponential backoff after transient errors;
+// panics and cancellations are never retried) and a Timeout (a per-stage
+// deadline enforced at the stage's cancellation points).
 package pipeline
 
 import (
@@ -30,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"time"
@@ -57,7 +66,46 @@ type Stage struct {
 	// Decode hydrates the stage's outputs from a cached payload. An error
 	// is treated as a miss and the stage runs normally.
 	Decode func([]byte) error
+	// Retry, when MaxRetries > 0, re-runs the stage after a failed attempt.
+	// Panics and cancellations are never retried — only plain errors, which
+	// for deterministic stages are transient by construction (an injected
+	// fault, a flaky cache disk), so a re-run is always safe.
+	Retry RetryPolicy
+	// Timeout, when > 0, bounds the stage's wall clock with a derived
+	// deadline context. Stages are only preemptible at their cancellation
+	// points (the Intercept hook and anything the stage itself selects on),
+	// so a compute-bound Run past its deadline still finishes — the
+	// deadline is enforced, not the preemption.
+	Timeout time.Duration
 }
+
+// RetryPolicy bounds how a failing stage is retried: up to MaxRetries
+// re-runs, sleeping Backoff, 2·Backoff, 4·Backoff, ... between attempts
+// (deterministic — no jitter, so timed tests and chaos suites replay
+// exactly).
+type RetryPolicy struct {
+	MaxRetries int
+	Backoff    time.Duration
+}
+
+// StagePanicError is the typed error a recovered stage panic converts to:
+// the stage name, the panic value and the stack captured at recovery. The
+// scheduler treats it like any stage failure (dependents are skipped), so a
+// panicking stage can never take down the process hosting the pipeline.
+type StagePanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is carried separately.
+func (e *StagePanicError) Error() string {
+	return fmt.Sprintf("pipeline: stage %q panicked: %v", e.Stage, e.Value)
+}
+
+// ErrStageTimeout wraps the error recorded for a stage that exceeded its
+// declared Timeout.
+var ErrStageTimeout = errors.New("pipeline: stage deadline exceeded")
 
 // Timing reports how one stage fared: wall-clock duration for executed
 // stages, Skipped for stages that never ran (deselected, or a dependency
@@ -69,6 +117,9 @@ type Timing struct {
 	Err      error
 	Skipped  bool
 	CacheHit bool
+	// Retries counts re-run attempts beyond the first (0 for stages that
+	// succeeded or failed on their only attempt).
+	Retries int
 }
 
 // Cacher is the result-cache surface the scheduler consumes; implemented by
@@ -95,6 +146,12 @@ type Options struct {
 	// invoke it concurrently; it must not block for long — the scheduler's
 	// workers call it inline. Serving layers use it for live progress.
 	Observe func(Timing)
+	// Intercept, when non-nil, runs before every stage attempt (cache
+	// lookup included) with the stage's context and name. A returned error
+	// fails the attempt; a panic is contained like any stage panic. Fault
+	// injectors hook here, which keeps the scheduler itself free of any
+	// testing seams.
+	Intercept func(ctx context.Context, stage string) error
 }
 
 // ErrDependencySkipped wraps the error recorded for a stage that was skipped
@@ -328,12 +385,13 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 					continue
 				}
 				start := time.Now()
-				hit, err := execute(ctx, &stages[i], opts.Cache)
+				hit, retries, err := execute(ctx, &stages[i], &opts)
 				mu.Lock()
 				timings[i].Duration = time.Since(start)
 				timings[i].Skipped = false
 				timings[i].CacheHit = hit
 				timings[i].Err = err
+				timings[i].Retries = retries
 				tm := timings[i]
 				finish(i, err == nil)
 				mu.Unlock()
@@ -359,11 +417,12 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 	return timings, errors.Join(errs...)
 }
 
-// execute runs one stage, consulting the result cache first when the stage
-// opted in. A cache hit hydrates the stage's outputs through Decode and
-// skips Run entirely; a decode failure (corrupt or stale payload) falls back
-// to a normal run. After a successful run the encoded outputs are stored —
-// Encode failures only skip the store, never fail the stage.
+// execute runs one stage through its retry/deadline policy, consulting the
+// result cache first when the stage opted in. A cache hit hydrates the
+// stage's outputs through Decode and skips Run entirely; a decode failure
+// (corrupt or stale payload) falls back to a normal run. After a successful
+// run the encoded outputs are stored — Encode failures only skip the store,
+// never fail the stage.
 //
 // The whole execution — cache lookup, Run, store — is wrapped in a pprof
 // label ("stage" = the stage name), so a CPU profile of a battery run
@@ -372,18 +431,75 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 // isolates one stage, `-tagshow stage` breaks the profile down by all of
 // them. Labels propagate to goroutines the stage spawns (the parallel
 // chunk workers inherit them), so sharded loops are attributed too.
-func execute(ctx context.Context, s *Stage, c Cacher) (cacheHit bool, err error) {
-	pprof.Do(ctx, pprof.Labels("stage", s.Name), func(context.Context) {
-		cacheHit, err = executeUnlabeled(s, c)
+func execute(ctx context.Context, s *Stage, opts *Options) (cacheHit bool, retries int, err error) {
+	pprof.Do(ctx, pprof.Labels("stage", s.Name), func(ctx context.Context) {
+		cacheHit, retries, err = executeWithPolicy(ctx, s, opts)
 	})
-	return cacheHit, err
+	return cacheHit, retries, err
 }
 
-func executeUnlabeled(s *Stage, c Cacher) (cacheHit bool, err error) {
+// executeWithPolicy drives the stage's attempt loop: a deadline context
+// when the stage declares a Timeout, then up to 1+MaxRetries attempts with
+// deterministic exponential backoff between them. Panics (already converted
+// to *StagePanicError by executeOnce) and cancellations end the loop
+// immediately — only plain errors are retried.
+func executeWithPolicy(ctx context.Context, s *Stage, opts *Options) (cacheHit bool, retries int, err error) {
+	sctx := ctx
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	for attempt := 0; ; attempt++ {
+		cacheHit, err = executeOnce(sctx, s, opts)
+		if err == nil {
+			return cacheHit, attempt, nil
+		}
+		var pe *StagePanicError
+		if errors.As(err, &pe) || ctx.Err() != nil || attempt >= s.Retry.MaxRetries {
+			break
+		}
+		if sctx.Err() != nil {
+			break
+		}
+		if d := s.Retry.Backoff << attempt; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-sctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+		}
+		if sctx.Err() != nil {
+			break
+		}
+		retries = attempt + 1
+	}
+	if s.Timeout > 0 && sctx.Err() != nil && ctx.Err() == nil {
+		err = fmt.Errorf("%w: stage %q exceeded %v: %w", ErrStageTimeout, s.Name, s.Timeout, err)
+	}
+	return cacheHit, retries, err
+}
+
+// executeOnce is one attempt. The deferred recover is the pipeline's panic
+// containment: whatever the stage's closures do, the worker goroutine
+// survives and the failure is a typed error with the stack attached.
+func executeOnce(ctx context.Context, s *Stage, opts *Options) (cacheHit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StagePanicError{Stage: s.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if opts.Intercept != nil {
+		if ierr := opts.Intercept(ctx, s.Name); ierr != nil {
+			return false, ierr
+		}
+	}
+	c := opts.Cache
 	cached := c != nil && s.CacheKey != "" && s.Encode != nil && s.Decode != nil
 	if cached {
 		if data, ok := c.Get(s.CacheKey); ok {
-			if derr := s.Decode(data); derr == nil {
+			if tryDecode(s, data) {
 				return true, nil
 			}
 		}
@@ -397,4 +513,16 @@ func executeUnlabeled(s *Stage, c Cacher) (cacheHit bool, err error) {
 		}
 	}
 	return false, nil
+}
+
+// tryDecode hydrates the stage from a cached payload, treating a decoder
+// panic exactly like a decode error: a miss. Corruption must degrade to
+// recomputation, never fail (or crash) the stage.
+func tryDecode(s *Stage, data []byte) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return s.Decode(data) == nil
 }

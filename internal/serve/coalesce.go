@@ -14,6 +14,15 @@ import (
 // popular run survives individual disconnects but a run nobody is waiting
 // for stops burning workers at the next stage boundary.
 
+// runOutcome is what one coalesced execution produces: the encoded response
+// body plus whether it is a degraded (partial) report. Degraded bodies flow
+// to every waiter of the faulted run but are never memoized, so the first
+// request after the fault clears re-runs and serves clean bytes.
+type runOutcome struct {
+	body     []byte
+	degraded bool
+}
+
 // flight deduplicates concurrent executions by key.
 type flight struct {
 	mu    sync.Mutex
@@ -24,8 +33,8 @@ type flight struct {
 type call struct {
 	waiters int                // live waiters; last one out cancels the run
 	cancel  context.CancelFunc // cancels the run's context
-	done    chan struct{}      // closed after body/err are set
-	body    []byte
+	done    chan struct{}      // closed after out/err are set
+	out     runOutcome
 	err     error
 	prog    *progress // live per-stage progress, shared with job status
 }
@@ -45,7 +54,7 @@ func newFlight() *flight {
 // that receives a cancellation error from a run its own context did not
 // cause (it piled onto a call whose waiters all left) retries on a fresh
 // call rather than failing spuriously.
-func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *progress) ([]byte, error)) (body []byte, joined bool, err error) {
+func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *progress) (runOutcome, error)) (out runOutcome, joined bool, err error) {
 	for {
 		f.mu.Lock()
 		c, ok := f.calls[key]
@@ -54,8 +63,8 @@ func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *p
 			c = &call{cancel: cancel, done: make(chan struct{}), prog: newProgress()}
 			f.calls[key] = c
 			go func() {
-				b, e := fn(runCtx, c.prog)
-				c.body, c.err = b, e
+				o, e := fn(runCtx, c.prog)
+				c.out, c.err = o, e
 				// Remove from the map before signalling completion so a
 				// retrying waiter is guaranteed a fresh call.
 				f.mu.Lock()
@@ -75,7 +84,7 @@ func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *p
 				// leaving; our request is still live, so run it afresh.
 				continue
 			}
-			return c.body, ok, c.err
+			return c.out, ok, c.err
 		case <-ctx.Done():
 			f.mu.Lock()
 			c.waiters--
@@ -83,7 +92,7 @@ func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *p
 				c.cancel()
 			}
 			f.mu.Unlock()
-			return nil, ok, ctx.Err()
+			return runOutcome{}, ok, ctx.Err()
 		}
 	}
 }

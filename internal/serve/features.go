@@ -118,13 +118,15 @@ func (s *Server) featureRows(ctx context.Context, d *dataset, nodes []int) (*fea
 	// before returning, so joiners — and this caller — read it back from
 	// the memo afterwards.
 	key := s.reportKey(d, []string{core.StageFeatures}, "features-run")
-	_, joined, err := s.flight.Do(ctx, key, func(ctx context.Context, prog *progress) ([]byte, error) {
+	_, joined, err := s.flight.Do(ctx, key, func(ctx context.Context, prog *progress) (runOutcome, error) {
 		rep, rerr := s.runBattery(ctx, d, []string{core.StageFeatures}, prog)
 		if rerr != nil {
-			return nil, rerr
+			// No degraded tier here: a feature response is the matrix, so a
+			// failed features stage has nothing partial to serve.
+			return runOutcome{}, rerr
 		}
 		d.setFeatures(rep.Features)
-		return nil, nil
+		return runOutcome{}, nil
 	})
 	if joined {
 		s.met.addCoalesced()

@@ -53,7 +53,7 @@ type job struct {
 
 	mu   sync.Mutex
 	prog *progress // the run's live progress sink, once known
-	body []byte
+	out  runOutcome
 	err  error
 }
 
@@ -77,21 +77,21 @@ func (j *job) progressSnapshot() []core.StageTiming {
 	return p.snapshot()
 }
 
-func (j *job) finish(body []byte, err error) {
+func (j *job) finish(out runOutcome, err error) {
 	j.mu.Lock()
-	j.body, j.err = body, err
+	j.out, j.err = out, err
 	j.mu.Unlock()
 	close(j.done)
 }
 
-func (j *job) result() ([]byte, error, bool) {
+func (j *job) result() (runOutcome, error, bool) {
 	select {
 	case <-j.done:
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		return j.body, j.err, true
+		return j.out, j.err, true
 	default:
-		return nil, nil, false
+		return runOutcome{}, nil, false
 	}
 }
 

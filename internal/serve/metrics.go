@@ -44,6 +44,7 @@ type metrics struct {
 	jobsQueued uint64 // 202 responses handed out
 	bodyHits   uint64 // requests served straight from the encoded-body memo
 	shardHits  uint64 // feature requests answered from precomputed shards
+	degraded   uint64 // degraded (partial-report) responses served
 
 	cacheHits   uint64 // stage-level, summed from Report.Cache
 	cacheMisses uint64
@@ -92,6 +93,14 @@ func (m *metrics) addJobQueued() { m.mu.Lock(); m.jobsQueued++; m.mu.Unlock() }
 func (m *metrics) addBodyHit()   { m.mu.Lock(); m.bodyHits++; m.mu.Unlock() }
 
 func (m *metrics) addFeatureShardHit() { m.mu.Lock(); m.shardHits++; m.mu.Unlock() }
+func (m *metrics) addDegraded()        { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
+
+// degradedTotal is the degraded-response count, for tests.
+func (m *metrics) degradedTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
 
 // snapshot values used by tests.
 func (m *metrics) counters() (runs, coalesced, shed uint64) {
@@ -154,6 +163,7 @@ func (m *metrics) write(w io.Writer, now time.Time) {
 	counter("eliteserve_cancelled_runs_total", "Runs cancelled because every waiter abandoned.", m.cancelled)
 	counter("eliteserve_jobs_queued_total", "Async job (202) responses issued.", m.jobsQueued)
 	counter("eliteserve_body_cache_hits_total", "Requests served straight from the encoded-body memo, no pipeline run.", m.bodyHits)
+	counter("eliteserve_degraded_total", "Degraded (partial-report) responses served after stage failures.", m.degraded)
 	counter("eliteserve_feature_shard_hits_total", "Per-user feature requests served from precomputed shards, no pipeline run.", m.shardHits)
 	counter("eliteserve_stage_cache_hits_total", "Pipeline stages hydrated from the result cache.", m.cacheHits)
 	counter("eliteserve_stage_cache_misses_total", "Cache-eligible pipeline stages that had to compute.", m.cacheMisses)

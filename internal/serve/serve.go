@@ -279,7 +279,10 @@ func (s *Server) RegisterGenerated(id, kind string, n int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	ds := twitter.DatasetFromPlatform(p)
+	ds, err := twitter.DatasetFromPlatform(p)
+	if err != nil {
+		return err
+	}
 	activity := p.ActivitySeries(p.EnglishNodes())
 	return s.RegisterDataset(id, ds, activity,
 		fmt.Sprintf("gen:%s:n=%d:seed=%d", kind, n, seed))
@@ -420,7 +423,9 @@ func (s *Server) reportKey(d *dataset, stages []string, format string) string {
 // characterizer run with the request context threaded through, with run
 // metrics recorded. Runs are always timed — Report.Timings is what tells
 // the JSON views which value-typed sections actually executed, and it
-// never reaches response bytes.
+// never reaches response bytes. On stage failure the partial report comes
+// back alongside the error; callers decide whether it is servable
+// (degradable).
 func (s *Server) runBattery(ctx context.Context, d *dataset, stages []string, prog *progress) (*core.Report, error) {
 	if err := s.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrBusy) {
@@ -436,33 +441,91 @@ func (s *Server) runBattery(ctx context.Context, d *dataset, stages []string, pr
 	opts.StageObserver = prog.observe
 	s.met.runStarted()
 	rep, err := core.NewCharacterizer(opts).RunContext(ctx, d.ds, d.activity)
-	if err != nil {
-		s.met.runFinished(nil, errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
-		return nil, err
+	var cr *core.CacheReport
+	if rep != nil {
+		cr = rep.Cache
 	}
-	s.met.runFinished(rep.Cache, false)
-	return rep, nil
+	s.met.runFinished(cr, err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)))
+	return rep, err
 }
 
-// buildReport runs the battery and encodes the full-report body.
-func (s *Server) buildReport(ctx context.Context, d *dataset, stages []string, format string, prog *progress) ([]byte, error) {
-	rep, err := s.runBattery(ctx, d, stages, prog)
-	if err != nil {
-		return nil, err
+// degradable decides whether a failed run is still worth serving as a
+// partial (degraded) report: there is a report to serve, the failure is not
+// a cancellation (the client is gone, or the whole run was torn down — a
+// partial body would be arbitrary, not degraded), and at least one stage
+// actually produced a result.
+func degradable(ctx context.Context, rep *core.Report, err error) bool {
+	if rep == nil || ctx.Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
 	}
+	for _, tm := range rep.Timings {
+		if tm.Err == nil && !tm.Skipped {
+			return true
+		}
+	}
+	return false
+}
+
+// writeDegradedBanner prefixes a degraded text report with the failed-stage
+// summary, so plain-text consumers cannot mistake a partial report for a
+// complete one.
+func writeDegradedBanner(buf *bytes.Buffer, rep *core.Report) {
+	failed := 0
+	for _, tm := range rep.Timings {
+		if tm.Err != nil {
+			failed++
+		}
+	}
+	fmt.Fprintf(buf, "!! DEGRADED REPORT: %d stage(s) failed\n", failed)
+	for _, tm := range rep.Timings {
+		if tm.Err != nil {
+			fmt.Fprintf(buf, "!!   %s: %v\n", tm.Name, tm.Err)
+		}
+	}
+	buf.WriteByte('\n')
+}
+
+// buildReport runs the battery and encodes the full-report body. A run
+// where some stages failed but others completed encodes as a degraded
+// body: JSON grows "degraded": true plus structured stage_errors entries,
+// text gets the banner. Clean runs encode exactly as before, so a re-run
+// after a fault clears is byte-identical to a never-faulted response.
+func (s *Server) buildReport(ctx context.Context, d *dataset, stages []string, format string, prog *progress) (runOutcome, error) {
+	rep, err := s.runBattery(ctx, d, stages, prog)
+	if err != nil && !degradable(ctx, rep, err) {
+		return runOutcome{}, err
+	}
+	degraded := err != nil
 	switch format {
 	case "text":
 		var buf bytes.Buffer
-		rep.Render(&buf)
-		return buf.Bytes(), nil
-	case "json", "":
-		b, err := json.MarshalIndent(core.NewReportView(rep), "", "  ")
-		if err != nil {
-			return nil, err
+		if degraded {
+			writeDegradedBanner(&buf, rep)
 		}
-		return append(b, '\n'), nil
+		rep.Render(&buf)
+		return runOutcome{body: buf.Bytes(), degraded: degraded}, nil
+	case "json", "":
+		b, merr := json.MarshalIndent(core.NewReportView(rep), "", "  ")
+		if merr != nil {
+			return runOutcome{}, merr
+		}
+		return runOutcome{body: append(b, '\n'), degraded: degraded}, nil
 	}
-	return nil, fmt.Errorf("serve: unknown format %q", format)
+	return runOutcome{}, fmt.Errorf("serve: unknown format %q", format)
+}
+
+// writeOutcome writes a run's body, marking degraded responses with a
+// Warning header and counting them, so clients and operators can tell a
+// partial report from a complete one without parsing the body.
+func (s *Server) writeOutcome(w http.ResponseWriter, format string, out runOutcome) {
+	w.Header().Set("Content-Type", contentType(format))
+	if out.degraded {
+		w.Header().Set("Warning", `199 eliteserve "degraded: one or more stages failed"`)
+		s.met.addDegraded()
+	}
+	w.Write(out.body)
 }
 
 // writeRunError maps run failures onto HTTP semantics.
@@ -565,7 +628,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 		return
 	}
-	run := func(ctx context.Context, prog *progress) ([]byte, error) {
+	run := func(ctx context.Context, prog *progress) (runOutcome, error) {
 		return s.buildReport(ctx, d, stages, format, prog)
 	}
 
@@ -573,7 +636,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.handleReportAsync(w, r, d, key, format, run)
 		return
 	}
-	body, joined, err := s.flight.Do(r.Context(), key, run)
+	out, joined, err := s.flight.Do(r.Context(), key, run)
 	if joined {
 		s.met.addCoalesced()
 	}
@@ -581,15 +644,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeRunError(w, r, err)
 		return
 	}
-	s.bodies.put(key, body)
-	w.Header().Set("Content-Type", contentType(format))
-	w.Write(body)
+	if !out.degraded {
+		s.bodies.put(key, out.body)
+	}
+	s.writeOutcome(w, format, out)
 }
 
 // handleReportAsync implements the 202 job model: wait up to the latency
 // budget, then detach. The job is its own (never-cancelling) waiter, so
 // the run continues after the client disconnects.
-func (s *Server) handleReportAsync(w http.ResponseWriter, r *http.Request, d *dataset, key, format string, run func(context.Context, *progress) ([]byte, error)) {
+func (s *Server) handleReportAsync(w http.ResponseWriter, r *http.Request, d *dataset, key, format string, run func(context.Context, *progress) (runOutcome, error)) {
 	j, created, err := s.jobs.getOrCreate(key, d.ID, format, time.Now())
 	if err != nil {
 		// A live job under the same content-addressed id belongs to a
@@ -600,31 +664,30 @@ func (s *Server) handleReportAsync(w http.ResponseWriter, r *http.Request, d *da
 	}
 	if created {
 		go func() {
-			body, joined, err := s.flight.Do(context.Background(), key,
-				func(ctx context.Context, prog *progress) ([]byte, error) {
+			out, joined, err := s.flight.Do(context.Background(), key,
+				func(ctx context.Context, prog *progress) (runOutcome, error) {
 					j.setProgress(prog)
 					return run(ctx, prog)
 				})
 			if joined {
 				s.met.addCoalesced()
 			}
-			if err == nil {
-				s.bodies.put(key, body)
+			if err == nil && !out.degraded {
+				s.bodies.put(key, out.body)
 			}
-			j.finish(body, err)
+			j.finish(out, err)
 		}()
 	}
 	budget := time.NewTimer(s.cfg.AsyncAfter)
 	defer budget.Stop()
 	select {
 	case <-j.done:
-		body, err, _ := j.result()
+		out, err, _ := j.result()
 		if err != nil {
 			writeRunError(w, r, err)
 			return
 		}
-		w.Header().Set("Content-Type", contentType(format))
-		w.Write(body)
+		s.writeOutcome(w, format, out)
 	case <-budget.C:
 		s.met.addJobQueued()
 		writeJSON(w, http.StatusAccepted, map[string]string{
@@ -662,22 +725,26 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 		return
 	}
-	body, joined, err := s.flight.Do(r.Context(), key, func(ctx context.Context, prog *progress) ([]byte, error) {
+	out, joined, err := s.flight.Do(r.Context(), key, func(ctx context.Context, prog *progress) (runOutcome, error) {
 		rep, rerr := s.runBattery(ctx, d, runStages, prog)
-		if rerr != nil {
-			return nil, rerr
+		if rerr != nil && !degradable(ctx, rep, rerr) {
+			return runOutcome{}, rerr
 		}
 		frag, verr := core.StageView(rep, stage)
 		if verr != nil {
-			return nil, verr
+			return runOutcome{}, verr
 		}
-		b, merr := json.MarshalIndent(map[string]any{
+		payload := map[string]any{
 			"dataset": d.ID, "stage": stage, "result": frag,
-		}, "", "  ")
-		if merr != nil {
-			return nil, merr
 		}
-		return append(b, '\n'), nil
+		if rerr != nil {
+			payload["degraded"] = true
+		}
+		b, merr := json.MarshalIndent(payload, "", "  ")
+		if merr != nil {
+			return runOutcome{}, merr
+		}
+		return runOutcome{body: append(b, '\n'), degraded: rerr != nil}, nil
 	})
 	if joined {
 		s.met.addCoalesced()
@@ -686,9 +753,10 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 		writeRunError(w, r, err)
 		return
 	}
-	s.bodies.put(key, body)
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	if !out.degraded {
+		s.bodies.put(key, out.body)
+	}
+	s.writeOutcome(w, "json", out)
 }
 
 // userView is the per-user payload: degree ranking plus the §IV
@@ -815,7 +883,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	body, err, finished := j.result()
+	out, err, finished := j.result()
 	if !finished {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusConflict, "job %s still running", j.ID)
@@ -825,6 +893,5 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeRunError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", contentType(j.Format))
-	w.Write(body)
+	s.writeOutcome(w, j.Format, out)
 }

@@ -34,7 +34,10 @@ func testFixtures(t *testing.T) (*twitter.Dataset, *timeseries.DailySeries) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fixDataset = twitter.DatasetFromPlatform(p)
+		fixDataset, err = twitter.DatasetFromPlatform(p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		fixActivity = p.ActivitySeries(p.EnglishNodes())
 	})
 	return fixDataset, fixActivity
@@ -280,10 +283,10 @@ func TestFlightCoalescesIdenticalRequests(t *testing.T) {
 	const n = 8
 	var runs int32
 	release := make(chan struct{})
-	fn := func(ctx context.Context, _ *progress) ([]byte, error) {
+	fn := func(ctx context.Context, _ *progress) (runOutcome, error) {
 		atomic.AddInt32(&runs, 1)
 		<-release
-		return []byte("the-body"), nil
+		return runOutcome{body: []byte("the-body")}, nil
 	}
 
 	var wg sync.WaitGroup
@@ -294,11 +297,11 @@ func TestFlightCoalescesIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, joined, err := f.Do(context.Background(), "k", fn)
+			out, joined, err := f.Do(context.Background(), "k", fn)
 			if err != nil {
 				t.Errorf("Do: %v", err)
 			}
-			bodies[i], joins[i] = body, joined
+			bodies[i], joins[i] = out.body, joined
 		}()
 	}
 	// Wait until all 8 are registered as waiters, then let the run finish.
@@ -345,11 +348,11 @@ func TestFlightCancellation(t *testing.T) {
 	f := newFlight()
 	started := make(chan struct{}, 2)
 	var cancelSeen int32
-	fn := func(ctx context.Context, _ *progress) ([]byte, error) {
+	fn := func(ctx context.Context, _ *progress) (runOutcome, error) {
 		started <- struct{}{}
 		<-ctx.Done()
 		atomic.AddInt32(&cancelSeen, 1)
-		return nil, ctx.Err()
+		return runOutcome{}, ctx.Err()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
@@ -371,12 +374,12 @@ func TestFlightCancellation(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// A fresh request reruns fn (and can complete normally this time).
-	fn2 := func(ctx context.Context, _ *progress) ([]byte, error) {
-		return []byte("fresh"), nil
+	fn2 := func(ctx context.Context, _ *progress) (runOutcome, error) {
+		return runOutcome{body: []byte("fresh")}, nil
 	}
-	body, _, err := f.Do(context.Background(), "k", fn2)
-	if err != nil || string(body) != "fresh" {
-		t.Fatalf("fresh run after cancellation: %q %v", body, err)
+	out, _, err := f.Do(context.Background(), "k", fn2)
+	if err != nil || string(out.body) != "fresh" {
+		t.Fatalf("fresh run after cancellation: %q %v", out.body, err)
 	}
 }
 
@@ -618,19 +621,19 @@ func TestJobTableReplacementKeepsFreshOrder(t *testing.T) {
 	if err != nil || !created {
 		t.Fatalf("first job: created=%v err=%v", created, err)
 	}
-	a.finish([]byte("a"), nil)
+	a.finish(runOutcome{body: []byte("a")}, nil)
 	// Replace a under the same key; it must now be the youngest entry.
 	a2, created, err := tbl.getOrCreate("key-a", "d", "json", now)
 	if err != nil || !created || a2 == a {
 		t.Fatal("finished job should be replaced")
 	}
-	a2.finish([]byte("a2"), nil)
+	a2.finish(runOutcome{body: []byte("a2")}, nil)
 	b, _, _ := tbl.getOrCreate("key-b", "d", "json", now)
-	b.finish([]byte("b"), nil)
+	b.finish(runOutcome{body: []byte("b")}, nil)
 	// keep=2: after c, the table must retain the two youngest (b, c) and
 	// evict a2 — not inherit a's stale front-of-order slot for a2.
 	c, _, _ := tbl.getOrCreate("key-c", "d", "json", now)
-	c.finish([]byte("c"), nil)
+	c.finish(runOutcome{body: []byte("c")}, nil)
 	if _, ok := tbl.get(c.ID); !ok {
 		t.Fatal("newest job evicted")
 	}
@@ -656,7 +659,7 @@ func TestJobTableKeyCollisionRefused(t *testing.T) {
 		t.Fatal("live colliding job must be refused")
 	}
 	// Once finished, the colliding slot is reclaimed.
-	j.finish(nil, nil)
+	j.finish(runOutcome{}, nil)
 	if _, created, err := tbl.getOrCreate("key-a", "d", "json", time.Now()); err != nil || !created {
 		t.Fatalf("finished colliding job should be replaced: created=%v err=%v", created, err)
 	}

@@ -6,16 +6,53 @@ import (
 	"time"
 
 	"elites/internal/graph"
+	"elites/internal/mathx"
 )
 
 // crawlMaxRetries bounds per-call retries on transient 503s; backoff is
-// exponential on the virtual clock (5s, 10s, 20s, ...), mirroring
-// production crawler etiquette.
+// exponential on the virtual clock (5s, 10s, 20s, ...) with equal jitter,
+// mirroring production crawler etiquette.
 const crawlMaxRetries = 6
 
+// crawlRetryBudget caps the cumulative simulated backoff one crawl may pay
+// across every retried call. A persistently failing endpoint exhausts the
+// budget and fails the crawl with a descriptive error instead of silently
+// advancing the virtual clock forever.
+const crawlRetryBudget = 45 * time.Minute
+
+// retrier tracks one crawl's retry spending. The jitter stream is seeded
+// from a fixed label so identical failure sequences back off identically —
+// the crawl stays deterministic, the waits still decorrelate.
+type retrier struct {
+	rng   *mathx.RNG
+	spent time.Duration
+	waits int
+}
+
+func newRetrier() *retrier {
+	return &retrier{rng: mathx.NewRNG(1).Derive("twitter/crawl/backoff")}
+}
+
+// wait pays one backoff on the virtual clock: equal jitter over the
+// exponential base (uniform in [base/2, base]), charged against the crawl's
+// cumulative budget. Exhausting the budget returns an error wrapping the
+// transient failure that triggered the wait.
+func (r *retrier) wait(api *API, attempt int, lastErr error) error {
+	base := 5 * time.Second << uint(attempt)
+	half := base / 2
+	d := half + time.Duration(r.rng.Intn(int(half)+1))
+	if r.spent+d > crawlRetryBudget {
+		return fmt.Errorf("twitter: crawl retry budget exhausted (%v spent over %d waits, budget %v): %w",
+			r.spent, r.waits, crawlRetryBudget, lastErr)
+	}
+	r.spent += d
+	r.waits++
+	api.Clock().Advance(d)
+	return nil
+}
+
 // retryFriendIDs wraps api.FriendIDs with transient-error retry.
-func retryFriendIDs(api *API, id, cursor int64) ([]int64, int64, error) {
-	backoff := 5 * time.Second
+func retryFriendIDs(api *API, rt *retrier, id, cursor int64) ([]int64, int64, error) {
 	for attempt := 0; ; attempt++ {
 		page, next, err := api.FriendIDs(id, cursor)
 		if err == nil {
@@ -24,14 +61,14 @@ func retryFriendIDs(api *API, id, cursor int64) ([]int64, int64, error) {
 		if !errors.Is(err, ErrServiceUnavailable) || attempt >= crawlMaxRetries {
 			return nil, 0, err
 		}
-		api.Clock().Advance(backoff)
-		backoff *= 2
+		if werr := rt.wait(api, attempt, err); werr != nil {
+			return nil, 0, werr
+		}
 	}
 }
 
 // retryUsersLookup wraps api.UsersLookup with transient-error retry.
-func retryUsersLookup(api *API, ids []int64) ([]Profile, error) {
-	backoff := 5 * time.Second
+func retryUsersLookup(api *API, rt *retrier, ids []int64) ([]Profile, error) {
 	for attempt := 0; ; attempt++ {
 		profiles, err := api.UsersLookup(ids)
 		if err == nil {
@@ -40,8 +77,9 @@ func retryUsersLookup(api *API, ids []int64) ([]Profile, error) {
 		if !errors.Is(err, ErrServiceUnavailable) || attempt >= crawlMaxRetries {
 			return nil, err
 		}
-		api.Clock().Advance(backoff)
-		backoff *= 2
+		if werr := rt.wait(api, attempt, err); werr != nil {
+			return nil, werr
+		}
 	}
 }
 
@@ -77,12 +115,13 @@ type Dataset struct {
 // SimulatedTime reflects what the crawl would have cost in real time.
 func Crawl(api *API) (*Dataset, error) {
 	start := api.Clock().Now()
+	rt := newRetrier() // one backoff budget for the whole crawl
 
 	// Step 1: enumerate verified ids from @verified.
 	var verifiedIDs []int64
 	cursor := int64(0)
 	for {
-		page, next, err := retryFriendIDs(api, api.VerifiedBotID(), cursor)
+		page, next, err := retryFriendIDs(api, rt, api.VerifiedBotID(), cursor)
 		if err != nil {
 			return nil, fmt.Errorf("listing @verified friends: %w", err)
 		}
@@ -104,7 +143,7 @@ func Crawl(api *API) (*Dataset, error) {
 		if j > len(verifiedIDs) {
 			j = len(verifiedIDs)
 		}
-		profiles, err := retryUsersLookup(api, verifiedIDs[i:j])
+		profiles, err := retryUsersLookup(api, rt, verifiedIDs[i:j])
 		if err != nil {
 			return nil, fmt.Errorf("users lookup: %w", err)
 		}
@@ -124,7 +163,7 @@ func Crawl(api *API) (*Dataset, error) {
 	for i, p := range english {
 		cursor := int64(0)
 		for {
-			page, next, err := retryFriendIDs(api, p.ID, cursor)
+			page, next, err := retryFriendIDs(api, rt, p.ID, cursor)
 			if err != nil {
 				return nil, fmt.Errorf("friends of %d: %w", p.ID, err)
 			}
@@ -155,12 +194,11 @@ func Crawl(api *API) (*Dataset, error) {
 // sub-graph directly from platform state. The result is identical to
 // Crawl's (the crawler tests assert exactly this); analyses use it when the
 // acquisition path itself is not under study.
-func DatasetFromPlatform(p *Platform) *Dataset {
+func DatasetFromPlatform(p *Platform) (*Dataset, error) {
 	nodes := p.EnglishNodes()
 	sub, orig, err := p.Graph().InducedSubgraph(nodes)
 	if err != nil {
-		// EnglishNodes are always in range; this is unreachable.
-		panic(err)
+		return nil, fmt.Errorf("twitter: inducing verified subgraph: %w", err)
 	}
 	profiles := make([]Profile, len(orig))
 	for i, v := range orig {
@@ -170,7 +208,7 @@ func DatasetFromPlatform(p *Platform) *Dataset {
 		Graph:         sub,
 		Profiles:      profiles,
 		TotalVerified: p.NumVerified(),
-	}
+	}, nil
 }
 
 // Metric identifies one of the four Figure 1 audience metrics.

@@ -12,7 +12,10 @@ func TestCrawlMatchesDirectInduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := DatasetFromPlatform(p)
+	direct, err := DatasetFromPlatform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if crawled.Graph.NumNodes() != direct.Graph.NumNodes() {
 		t.Fatalf("node count: crawl %d vs direct %d",
 			crawled.Graph.NumNodes(), direct.Graph.NumNodes())
@@ -163,7 +166,10 @@ func TestRateWindowAdvancesClock(t *testing.T) {
 
 func TestMetricValuesAndBios(t *testing.T) {
 	p := smallPlatform(t, 400)
-	ds := DatasetFromPlatform(p)
+	ds, err := DatasetFromPlatform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, m := range []Metric{MetricFollowers, MetricFriends, MetricListed, MetricStatuses} {
 		vals := ds.MetricValues(m)
 		if len(vals) != len(ds.Profiles) {

@@ -95,7 +95,10 @@ func TestCategorySinksAreStars(t *testing.T) {
 
 func TestBioCorpusReproducesTables(t *testing.T) {
 	p := smallPlatform(t, 6000)
-	ds := DatasetFromPlatform(p)
+	ds, err := DatasetFromPlatform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	big := text.NewCounter(2)
 	tri := text.NewCounter(3)
 	for _, bio := range ds.Bios() {

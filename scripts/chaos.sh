@@ -1,0 +1,52 @@
+#!/bin/sh
+# chaos.sh — local chaos rehearsal for the serving stack.
+#
+# Runs the chaos test matrix under the race detector, then boots a real
+# eliteserve with an injected stage fault and walks the degraded-serving
+# contract end to end (the same sequence CI's "degraded serving smoke"
+# step pins): degraded 200 + Warning header + banner, the
+# eliteserve_degraded_total metric, and a clean follow-up body
+# byte-identical to eliteanalyze stdout.
+#
+# Usage: sh scripts/chaos.sh [port]   (default 8097)
+set -eu
+
+PORT=${1:-8097}
+TMP=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== chaos test matrix (-race) =="
+go test -race -count=1 \
+  -run 'Chaos|Fault|Breaker|Panic|Retry|Degraded' \
+  ./internal/faults/ ./internal/pipeline/ ./internal/cache/ \
+  ./internal/serve/ ./internal/twitter/
+
+echo "== degraded serving rehearsal =="
+go build -o "$TMP/elitegen" ./cmd/elitegen
+go build -o "$TMP/eliteserve" ./cmd/eliteserve
+go build -o "$TMP/eliteanalyze" ./cmd/eliteanalyze
+"$TMP/elitegen" -n 2000 -seed 7 -out "$TMP/ds" >/dev/null 2>&1
+
+"$TMP/eliteserve" -addr "127.0.0.1:$PORT" -data "demo=$TMP/ds" \
+  -cache "$TMP/cache" -async-after 0 \
+  -faults 'stage:degree=error' 2>"$TMP/serve.err" &
+SERVE_PID=$!
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "server never came up"; cat "$TMP/serve.err"; exit 1; }
+  sleep 0.2
+done
+
+curl -sf "http://127.0.0.1:$PORT/v1/datasets/demo/report?format=text" \
+  -D "$TMP/headers" -o "$TMP/degraded.out"
+grep -q 'DEGRADED REPORT' "$TMP/degraded.out"
+grep -qi '^Warning: 199' "$TMP/headers"
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q 'eliteserve_degraded_total 1'
+echo "degraded response: banner + Warning header + metric OK"
+
+curl -sf "http://127.0.0.1:$PORT/v1/datasets/demo/report?format=text" -o "$TMP/clean.out"
+"$TMP/eliteanalyze" -data "$TMP/ds" >"$TMP/analyze.out"
+cmp "$TMP/clean.out" "$TMP/analyze.out"
+echo "post-fault clean body: byte-identical to eliteanalyze"
+echo "chaos rehearsal: OK"
