@@ -1,0 +1,137 @@
+// Command eliterouter fronts a fleet of eliteserve workers with a
+// fault-tolerant coordinator. It rendezvous-hashes each request's cache
+// identity (dataset digest, stage subset, format) onto a stable worker
+// order — so one replica owns each identity, its single-flight coalescing
+// works fleet-wide, and a worker leaving never remaps identities between
+// the survivors — and climbs a degradation ladder as failures accumulate:
+// budgeted retries with decorrelated-jitter backoff onto the next worker
+// in hash order, hedged reads for warm GETs past a latency trigger,
+// per-worker circuit breakers, health-probe ejection with probationary
+// re-admission, and finally last-known-good cached bodies served with a
+// Warning header instead of a 502 when every replica is down.
+//
+// Endpoints (see docs/ARCHITECTURE.md "The fleet"):
+//
+//	GET  /healthz          router liveness + available-worker count
+//	GET  /metrics          Prometheus text metrics (eliterouter_*)
+//	GET  /fleet/workers    per-worker state (health, breaker, counters)
+//	(everything else)      proxied onto the fleet by identity
+//
+// Usage:
+//
+//	eliteserve -addr :9001 -gen demo=verified:10000:42 -cache /tmp/elites-cache &
+//	eliteserve -addr :9002 -gen demo=verified:10000:42 -cache /tmp/elites-cache &
+//	eliterouter -addr :8080 -worker 127.0.0.1:9001 -worker 127.0.0.1:9002 \
+//	    -cache /tmp/elites-cache
+//	curl localhost:8080/v1/datasets/demo/report?stages=summary
+//
+// Sharing -cache with the workers is what arms degraded serving: the
+// router records last-known-good bodies there and serves them verbatim
+// when the fleet is unreachable. The -faults flag (or $ELITES_FAULTS)
+// injects deterministic network faults — "net:127.0.0.1:9001=drop:times=3",
+// latency, 5xx bursts — into probes and proxied attempts for chaos drills.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"elites"
+)
+
+// workerFlag collects repeatable -worker flags.
+type workerFlag []string
+
+func (l *workerFlag) String() string { return strings.Join(*l, ", ") }
+
+func (l *workerFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var workers workerFlag
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheDir      = flag.String("cache", "", "shared result-cache directory (arms last-known-good degraded serving)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe cadence")
+		ejectAfter    = flag.Int("eject-after", 3, "consecutive failed probes before a worker is ejected")
+		retries       = flag.Int("retries", 2, "extra attempts on other workers after a failed attempt")
+		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "end-to-end budget for one routed request, across all attempts")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed delay before hedging a warm GET (0 = adaptive p95 of recent latencies)")
+		faultSpec     = flag.String("faults", "", `inject deterministic network faults, e.g. "net:127.0.0.1:9001=drop:times=3" (testing; overrides $ELITES_FAULTS)`)
+		faultSeed     = flag.Uint64("faults-seed", 1, "seed for probabilistic fault rules")
+		seed          = flag.Uint64("seed", 42, "seed for backoff and Retry-After jitter")
+	)
+	flag.Var(&workers, "worker", "eliteserve base URL (repeatable; at least one required)")
+	flag.Parse()
+
+	if err := run(*addr, *cacheDir, *probeInterval, *ejectAfter, *retries,
+		*reqTimeout, *hedgeAfter, *faultSpec, *faultSeed, *seed, workers); err != nil {
+		fmt.Fprintln(os.Stderr, "eliterouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, probeInterval time.Duration, ejectAfter, retries int,
+	reqTimeout, hedgeAfter time.Duration, faultSpec string, faultSeed, seed uint64,
+	workers []string) error {
+	cfg := elites.RouterConfig{
+		Workers:        workers,
+		ProbeInterval:  probeInterval,
+		EjectAfter:     ejectAfter,
+		Retries:        retries,
+		RequestTimeout: reqTimeout,
+		HedgeAfter:     hedgeAfter,
+		CacheDir:       cacheDir,
+		Seed:           seed,
+	}
+	if faultSpec == "" {
+		faultSpec = os.Getenv("ELITES_FAULTS")
+	}
+	if faultSpec != "" {
+		inj, err := elites.ParseFaults(faultSpec, faultSeed)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		cfg.Faults = inj
+		fmt.Fprintf(os.Stderr, "eliterouter: FAULT INJECTION ACTIVE (%s)\n", faultSpec)
+	}
+	router, err := elites.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+
+	// Slow-loris protection; no WriteTimeout because proxied cold reports
+	// can legitimately take minutes (the per-request -request-timeout
+	// bounds them instead).
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "eliterouter: fronting %d worker(s) on %s\n", len(workers), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "eliterouter: shutting down")
+		router.Close()
+		return hs.Close()
+	}
+}

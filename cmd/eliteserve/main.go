@@ -6,7 +6,9 @@
 // Endpoints (see docs/ARCHITECTURE.md "The serving layer" and the README
 // endpoints table):
 //
-//	GET  /healthz                              liveness + dataset count
+//	GET  /healthz                              liveness + dataset count (503 while draining)
+//	GET  /readyz                               readiness (503 while draining)
+//	POST /v1/admin/drain                       stop admitting new pipeline work
 //	GET  /metrics                              Prometheus text metrics
 //	GET  /v1/datasets                          registered datasets
 //	GET  /v1/datasets/{id}                     one dataset's summary row
@@ -22,7 +24,10 @@
 // same directory eliteanalyze -cache uses, so reports are byte-identical
 // between the two); -async-after bounds how long a cold POST holds the
 // connection before detaching into a job; the admission queue sheds
-// overload with 429.
+// overload with 429. On SIGINT/SIGTERM the server drains gracefully: new
+// pipeline work is refused with 503 + jittered Retry-After, in-flight
+// requests and async jobs get -drain-timeout to finish, and jobs still
+// running at expiry are reported as abandoned.
 //
 // Usage:
 //
@@ -74,6 +79,7 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 8, "runs waiting for a slot before requests are shed with 429 (-1 = no queue)")
 		asyncAfter = flag.Duration("async-after", 30*time.Second, "latency budget before a cold POST detaches into a job (0 = always synchronous)")
 		bodyCache  = flag.Int64("body-cache", 0, "encoded-response-body memo cap in bytes (0 = default 64 MiB, -1 = disable)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests and async jobs before abandoning them")
 
 		// Robustness knobs. -faults is a chaos-testing hook: it injects
 		// deterministic failures into the serving path (stage errors/panics,
@@ -88,7 +94,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, *seed, *fast, *parallel, *cacheDir, *cacheMem,
-		*maxConc, *maxQueue, *asyncAfter, *bodyCache,
+		*maxConc, *maxQueue, *asyncAfter, *bodyCache, *drainWait,
 		*stageRetries, *faultSpec, *faultSeed, dataFlags, genFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "eliteserve:", err)
 		os.Exit(1)
@@ -96,7 +102,7 @@ func main() {
 }
 
 func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cacheMem int64,
-	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64,
+	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64, drainWait time.Duration,
 	stageRetries int, faultSpec string, faultSeed uint64, dataFlags, genFlags []string) error {
 	opts := elites.Options{
 		Seed: seed, Parallelism: parallel,
@@ -166,7 +172,17 @@ func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cac
 		return fmt.Errorf("no datasets registered (use -data id=path and/or -gen id=kind:n:seed)")
 	}
 
-	hs := &http.Server{Addr: addr, Handler: srv}
+	// Slow-loris protection: bound how long a client may dribble headers
+	// or a body. WriteTimeout is deliberately unset — cold synchronous
+	// reports legitimately stream for minutes; -async-after and the
+	// admission queue bound those instead.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "eliteserve: serving %v on %s\n", srv.DatasetIDs(), addr)
@@ -177,9 +193,18 @@ func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cac
 	case err := <-errc:
 		return err
 	case <-sig:
-		fmt.Fprintln(os.Stderr, "eliteserve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: flip the health surface red and refuse new
+		// pipeline work first, so a fleet router fails over before the
+		// listener closes; then give in-flight requests and async jobs
+		// -drain-timeout to finish.
+		fmt.Fprintln(os.Stderr, "eliteserve: draining")
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 		defer cancel()
+		if abandoned := srv.WaitJobs(ctx); abandoned > 0 {
+			fmt.Fprintf(os.Stderr, "eliteserve: drain timeout: %d async job(s) abandoned\n", abandoned)
+		}
+		fmt.Fprintln(os.Stderr, "eliteserve: shutting down")
 		return hs.Shutdown(ctx)
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"elites/internal/core"
 	"elites/internal/faults"
 	"elites/internal/features"
+	"elites/internal/fleet"
 	"elites/internal/gen"
 	"elites/internal/graph"
 	"elites/internal/mathx"
@@ -309,6 +310,22 @@ var (
 	// ErrServerBusy is what shed requests fail with (HTTP 429).
 	ErrServerBusy = serve.ErrBusy
 )
+
+// --- Fleet ----------------------------------------------------------------------
+
+// Re-exported fleet types (cmd/eliterouter is a thin wrapper over these).
+type (
+	// Router is the fleet coordinator: rendezvous-hashed placement over
+	// eliteserve workers with health checking, budgeted retries, hedged
+	// reads, per-worker circuit breakers and last-known-good degradation.
+	Router = fleet.Router
+	// RouterConfig tunes a Router.
+	RouterConfig = fleet.Config
+)
+
+// NewRouter builds the fleet coordinator; call Start to launch its health
+// prober and mount it as an http.Handler.
+var NewRouter = fleet.New
 
 // --- Fault injection -------------------------------------------------------------
 

@@ -203,6 +203,59 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	}
 }
 
+// TestBreakerRecoveryRestoresHits: an entry persisted before the disk
+// fails must come back as a hit — with its original bytes — within one
+// probe window (breakerProbeAfter operations) of the filesystem healing.
+// This is the contract the serving layer's degraded mode leans on: a trip
+// is an episode, not a permanent demotion to cold reads.
+func TestBreakerRecoveryRestoresHits(t *testing.T) {
+	c, fs := newFaultCache(t)
+	payload := []byte("survives the outage")
+	c.Put("k", payload)
+	c.DropMemory() // only the disk tier has it now
+
+	// Trip the breaker with consecutive read failures.
+	fs.mu.Lock()
+	fs.failRead = syscall.EIO
+	fs.mu.Unlock()
+	for i := 0; i < breakerTripAfter; i++ {
+		if _, ok := c.Get("k"); ok {
+			t.Fatal("Get hit through an EIO disk")
+		}
+	}
+	if s := c.Stats(); !s.BreakerOpen || s.BreakerTrips != 1 {
+		t.Fatalf("breaker not open after %d failures: %+v", breakerTripAfter, s)
+	}
+
+	// Heal the filesystem. The entry must be served again within one probe
+	// window: the next half-open probe reads it, succeeds, and closes the
+	// breaker.
+	fs.mu.Lock()
+	fs.failRead = nil
+	fs.mu.Unlock()
+	recovered := false
+	for i := 0; i < breakerProbeAfter; i++ {
+		if got, ok := c.Get("k"); ok {
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("recovered entry = %q, want %q", got, payload)
+			}
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("no hit within %d operations of the disk healing", breakerProbeAfter)
+	}
+	if s := c.Stats(); s.BreakerOpen {
+		t.Fatalf("breaker still open after successful probe: %+v", s)
+	}
+
+	// And it keeps hitting — memory tier re-primed by the recovery read.
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("hit did not stick after recovery")
+	}
+}
+
 func TestInjectedFaultHookCountsAsIOError(t *testing.T) {
 	c := newTestCache(t.TempDir())
 	c.Put("k", []byte("payload"))

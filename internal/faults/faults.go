@@ -8,22 +8,31 @@
 // production code paths.
 //
 // Rules are matched in declaration order against hierarchical point names
-// ("stage:degree", "cache:read", "cache:store"); a trailing "*" in a rule's
-// Point is a prefix wildcard. Each rule fires inside a hit window (After
-// skipped hits, then Times fires) and, optionally, behind a seeded
-// probability gate — the same seed and the same sequence of hits always
-// produce the same injections, which is what lets the chaos suite assert
-// exact degraded bodies and exact recovery.
+// ("stage:degree", "cache:read", "cache:store", "net:127.0.0.1:9001"); a
+// trailing "*" in a rule's Point is a prefix wildcard. Each rule fires
+// inside a hit window (After skipped hits, then Times fires) and,
+// optionally, behind a seeded probability gate — the same seed and the same
+// sequence of hits always produce the same injections, which is what lets
+// the chaos suite assert exact degraded bodies and exact recovery.
+//
+// The "net:" points are the fleet's network fault surface: eliterouter's
+// transport consults Net before every proxied attempt, so rules can inject
+// added latency (slow), connection drops (drop) and synthesized 5xx bursts
+// (5xx) per worker — which is how the chaos suite exercises failover,
+// hedging and the per-worker circuit breaker deterministically, without a
+// flaky network.
 //
 // The textual rule grammar accepted by Parse:
 //
 //	rule     := point "=" kind { ":" key "=" value }
 //	spec     := rule { "," rule }
-//	point    := "stage:" name | "cache:" op | "*"     (name/op may be "*")
-//	kind     := "panic" | "error" | "slow" | "cancel" | "ioerror" | "enospc"
+//	point    := "stage:" name | "cache:" op | "net:" worker | "*"
+//	           (name/op/worker may be "*")
+//	kind     := "panic" | "error" | "slow" | "cancel" | "ioerror" |
+//	           "enospc" | "drop" | "5xx"
 //	key      := "after" | "times" | "delay" | "p"     (times accepts "all")
 //
-// Example: "stage:degree=panic,cache:read=ioerror:times=all".
+// Example: "stage:degree=panic,net:*=drop:times=3,net:*=slow:delay=5ms:p=0.2".
 package faults
 
 import (
@@ -40,6 +49,15 @@ import (
 // ErrInjected is the sentinel every injected (non-panic) failure wraps, so
 // tests can tell an injected fault from an organic one.
 var ErrInjected = errors.New("faults: injected failure")
+
+// ErrDropped is the sentinel KindDrop failures wrap (alongside
+// ErrInjected): the network transport maps it to a torn connection.
+var ErrDropped = errors.New("connection dropped")
+
+// ErrHTTP5xx is the sentinel Kind5xx failures wrap (alongside
+// ErrInjected): the network transport maps it to a synthesized 503
+// response from the worker, as if it were overloaded.
+var ErrHTTP5xx = errors.New("upstream 5xx")
 
 // Kind is the failure mode a rule injects.
 type Kind int
@@ -60,6 +78,12 @@ const (
 	KindIOError
 	// KindENOSPC makes the hook return an error wrapping syscall.ENOSPC.
 	KindENOSPC
+	// KindDrop makes the hook return an error wrapping ErrDropped; the
+	// router's transport surfaces it as a connection torn mid-request.
+	KindDrop
+	// Kind5xx makes the hook return an error wrapping ErrHTTP5xx; the
+	// router's transport surfaces it as a synthesized 503 from the worker.
+	Kind5xx
 )
 
 // String names the kind in the Parse grammar's vocabulary.
@@ -77,6 +101,10 @@ func (k Kind) String() string {
 		return "ioerror"
 	case KindENOSPC:
 		return "enospc"
+	case KindDrop:
+		return "drop"
+	case Kind5xx:
+		return "5xx"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -160,6 +188,15 @@ func (in *Injector) Stage(ctx context.Context, name string) error {
 // treats a returned error as that operation's I/O failure.
 func (in *Injector) Cache(op string) error {
 	return in.fire(context.Background(), "cache:"+op)
+}
+
+// Net is the network-transport hook: it fires any rules matching
+// "net:<name>" (name is the target worker's host:port) before a proxied
+// attempt. KindSlow rules delay the attempt honoring ctx; a returned error
+// wrapping ErrDropped means the connection drops, one wrapping ErrHTTP5xx
+// means the worker answers 503.
+func (in *Injector) Net(ctx context.Context, name string) error {
+	return in.fire(ctx, "net:"+name)
 }
 
 // Fired reports how many injections have fired at point (exact name, not
@@ -250,6 +287,10 @@ func (in *Injector) fire(ctx context.Context, point string) error {
 		return fmt.Errorf("%w: I/O error at %s", ErrInjected, point)
 	case KindENOSPC:
 		return fmt.Errorf("%w at %s: %w", ErrInjected, point, syscall.ENOSPC)
+	case KindDrop:
+		return fmt.Errorf("%w: %w at %s", ErrInjected, ErrDropped, point)
+	case Kind5xx:
+		return fmt.Errorf("%w: %w at %s", ErrInjected, ErrHTTP5xx, point)
 	default:
 		return fmt.Errorf("%w at %s", ErrInjected, point)
 	}
@@ -307,8 +348,12 @@ func parseRule(raw string) (Rule, error) {
 		r.Kind = KindIOError
 	case "enospc":
 		r.Kind = KindENOSPC
+	case "drop":
+		r.Kind = KindDrop
+	case "5xx":
+		r.Kind = Kind5xx
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|error|slow|cancel|ioerror|enospc)", raw, parts[0])
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|error|slow|cancel|ioerror|enospc|drop|5xx)", raw, parts[0])
 	}
 	for _, opt := range parts[1:] {
 		key, val, ok := strings.Cut(opt, "=")
@@ -370,5 +415,11 @@ func checkPoint(point string) error {
 		}
 		return fmt.Errorf("faults: point %q: unknown cache op (want read|write|store|*)", point)
 	}
-	return fmt.Errorf("faults: point %q: want stage:<name>, cache:<op> or *", point)
+	if name, ok := strings.CutPrefix(point, "net:"); ok {
+		if name == "" {
+			return fmt.Errorf("faults: point %q: empty worker name", point)
+		}
+		return nil
+	}
+	return fmt.Errorf("faults: point %q: want stage:<name>, cache:<op>, net:<worker> or *", point)
 }

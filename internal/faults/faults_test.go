@@ -104,6 +104,37 @@ func TestENOSPCKind(t *testing.T) {
 	}
 }
 
+func TestNetKindsWrapSentinels(t *testing.T) {
+	in, err := Parse("net:w1=drop,net:*=5xx", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hit on w1: the drop rule fires (declaration order).
+	if err := in.Net(context.Background(), "w1"); !errors.Is(err, ErrDropped) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrDropped wrapping ErrInjected", err)
+	}
+	// w2 never matches the drop rule; the wildcard 5xx rule fires.
+	if err := in.Net(context.Background(), "w2"); !errors.Is(err, ErrHTTP5xx) {
+		t.Fatalf("err = %v, want ErrHTTP5xx", err)
+	}
+	// Both rules exhausted (Times defaults to once).
+	if err := in.Net(context.Background(), "w1"); err != nil {
+		t.Fatalf("exhausted rules still fired: %v", err)
+	}
+	if got := in.Fired("net:w1"); got != 1 {
+		t.Fatalf("Fired(net:w1) = %d, want 1", got)
+	}
+}
+
+func TestNetPointValidation(t *testing.T) {
+	if _, err := Parse("net:=drop", 1); err == nil {
+		t.Fatal("empty worker name accepted")
+	}
+	if _, err := Parse("net:127.0.0.1:9001=slow:delay=2ms", 1); err != nil {
+		t.Fatalf("host:port point rejected: %v", err)
+	}
+}
+
 func TestSlowKindDelaysAndProceeds(t *testing.T) {
 	in := New(1, Rule{Point: "stage:degree", Kind: KindSlow, Delay: 10 * time.Millisecond, Times: -1})
 	start := time.Now()

@@ -167,7 +167,7 @@ func (s *Server) handleUserFeatures(w http.ResponseWriter, r *http.Request) {
 	node := int(byRank[rank-1])
 	src, err := s.featureRows(r.Context(), d, []int{node})
 	if err != nil {
-		writeRunError(w, r, err)
+		s.writeRunError(w, r, err)
 		return
 	}
 	row, probs, class := src.row(node)
@@ -234,7 +234,7 @@ func (s *Server) handleUsersBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	src, err := s.featureRows(r.Context(), d, nodes)
 	if err != nil {
-		writeRunError(w, r, err)
+		s.writeRunError(w, r, err)
 		return
 	}
 	view := core.UsersBatchView{Users: make([]core.UserFeaturesView, len(nodes))}

@@ -157,6 +157,20 @@ func (t *jobTable) getOrCreate(key, datasetID, format string, now time.Time) (*j
 	return j, true, nil
 }
 
+// running counts jobs that have not finished — the jobs a shutdown right
+// now would abandon.
+func (t *jobTable) running() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, j := range t.byID {
+		if _, _, finished := j.result(); !finished {
+			n++
+		}
+	}
+	return n
+}
+
 func (t *jobTable) get(id string) (*job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

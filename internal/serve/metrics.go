@@ -37,14 +37,15 @@ type metrics struct {
 	latSum    float64
 	latCount  uint64
 
-	runs       uint64 // pipeline runs actually started
-	coalesced  uint64 // requests served by piggybacking on another's run
-	shed       uint64 // requests rejected 429 by admission
-	cancelled  uint64 // runs abandoned via context
-	jobsQueued uint64 // 202 responses handed out
-	bodyHits   uint64 // requests served straight from the encoded-body memo
-	shardHits  uint64 // feature requests answered from precomputed shards
-	degraded   uint64 // degraded (partial-report) responses served
+	runs          uint64 // pipeline runs actually started
+	coalesced     uint64 // requests served by piggybacking on another's run
+	shed          uint64 // requests rejected 429 by admission
+	cancelled     uint64 // runs abandoned via context
+	jobsQueued    uint64 // 202 responses handed out
+	bodyHits      uint64 // requests served straight from the encoded-body memo
+	shardHits     uint64 // feature requests answered from precomputed shards
+	degraded      uint64 // degraded (partial-report) responses served
+	drainRejected uint64 // pipeline work refused 503 while draining
 
 	cacheHits   uint64 // stage-level, summed from Report.Cache
 	cacheMisses uint64
@@ -94,6 +95,7 @@ func (m *metrics) addBodyHit()   { m.mu.Lock(); m.bodyHits++; m.mu.Unlock() }
 
 func (m *metrics) addFeatureShardHit() { m.mu.Lock(); m.shardHits++; m.mu.Unlock() }
 func (m *metrics) addDegraded()        { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
+func (m *metrics) addDrainRejected()   { m.mu.Lock(); m.drainRejected++; m.mu.Unlock() }
 
 // degradedTotal is the degraded-response count, for tests.
 func (m *metrics) degradedTotal() uint64 {
@@ -164,6 +166,7 @@ func (m *metrics) write(w io.Writer, now time.Time) {
 	counter("eliteserve_jobs_queued_total", "Async job (202) responses issued.", m.jobsQueued)
 	counter("eliteserve_body_cache_hits_total", "Requests served straight from the encoded-body memo, no pipeline run.", m.bodyHits)
 	counter("eliteserve_degraded_total", "Degraded (partial-report) responses served after stage failures.", m.degraded)
+	counter("eliteserve_draining_rejected_total", "Pipeline work refused with 503 while the server was draining.", m.drainRejected)
 	counter("eliteserve_feature_shard_hits_total", "Per-user feature requests served from precomputed shards, no pipeline run.", m.shardHits)
 	counter("eliteserve_stage_cache_hits_total", "Pipeline stages hydrated from the result cache.", m.cacheHits)
 	counter("eliteserve_stage_cache_misses_total", "Cache-eligible pipeline stages that had to compute.", m.cacheMisses)

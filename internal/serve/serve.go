@@ -45,12 +45,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elites/internal/cache"
 	"elites/internal/core"
 	"elites/internal/features"
 	"elites/internal/gen"
+	"elites/internal/mathx"
 	"elites/internal/store"
 	"elites/internal/timeseries"
 	"elites/internal/twitter"
@@ -126,6 +128,17 @@ type Server struct {
 	shards     *cache.Cache
 	featDigest uint64
 
+	// draining flips once (Drain or POST /v1/admin/drain) and never back:
+	// new pipeline work is refused with 503 while in-flight requests and
+	// async jobs run to completion (WaitJobs), and /healthz + /readyz turn
+	// 503 so a fleet router stops routing here.
+	draining atomic.Bool
+
+	// jitterMu guards jitter, the seeded stream behind the equal-jitter
+	// Retry-After values on shed/draining responses.
+	jitterMu sync.Mutex
+	jitter   *mathx.RNG
+
 	mu       sync.Mutex
 	datasets map[string]*dataset
 }
@@ -157,6 +170,7 @@ func New(cfg Config) *Server {
 			BetweennessSources: cfg.Options.BetweennessSources,
 			Seed:               cfg.Options.Seed,
 		}),
+		jitter:   mathx.NewRNG(cfg.Options.Seed).Derive("serve/retry-after"),
 		datasets: map[string]*dataset{},
 	}
 	if cfg.Options.CacheDir != "" && !cfg.Options.NoCache {
@@ -165,6 +179,8 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
+	s.route("POST /v1/admin/drain", "drain", s.handleDrain)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /v1/datasets", "datasets", s.handleDatasets)
 	s.route("GET /v1/datasets/{id}", "dataset", s.handleDataset)
@@ -416,6 +432,48 @@ func (s *Server) reportKey(d *dataset, stages []string, format string) string {
 		d.digest, s.optsDigest, strings.Join(stages, ","), format)
 }
 
+// --- draining ----------------------------------------------------------------
+
+// ErrDraining is returned (and mapped to HTTP 503) when the server has been
+// asked to drain: it finishes in-flight work but admits no new pipeline
+// runs, so a fleet router can remove it gracefully.
+var ErrDraining = errors.New("serve: server draining")
+
+// Drain puts the server into draining mode: /healthz and /readyz turn 503,
+// new pipeline work is refused with 503 + Retry-After, and in-flight
+// requests and async jobs run to completion. Draining is one-way.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitJobs blocks until every async job has finished or ctx expires, and
+// returns the number of jobs still running at return — the jobs a shutdown
+// at that moment would abandon.
+func (s *Server) WaitJobs(ctx context.Context) (abandoned int) {
+	for {
+		n := s.jobs.running()
+		if n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return s.jobs.running()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// retryAfterSeconds is the Retry-After value for shed (429) and draining
+// (503) responses: equal jitter over a 2-second base (1s floor + uniform
+// 0–1s) so a burst of simultaneously rejected clients doesn't come back in
+// lockstep and re-trip admission all at once.
+func (s *Server) retryAfterSeconds() int {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return 1 + s.jitter.Intn(2)
+}
+
 // --- run execution -----------------------------------------------------------
 
 // runBattery is the single execution path every report-shaped request
@@ -427,6 +485,10 @@ func (s *Server) reportKey(d *dataset, stages []string, format string) string {
 // back alongside the error; callers decide whether it is servable
 // (degradable).
 func (s *Server) runBattery(ctx context.Context, d *dataset, stages []string, prog *progress) (*core.Report, error) {
+	if s.draining.Load() {
+		s.met.addDrainRejected()
+		return nil, ErrDraining
+	}
 	if err := s.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrBusy) {
 			s.met.addShed()
@@ -529,11 +591,14 @@ func (s *Server) writeOutcome(w http.ResponseWriter, format string, out runOutco
 }
 
 // writeRunError maps run failures onto HTTP semantics.
-func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "server busy: admission queue full")
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, "server draining: not admitting new work")
 	case r.Context().Err() != nil:
 		// The client is gone; nothing useful to write. The recorder logs
 		// this as 499.
@@ -554,9 +619,40 @@ func contentType(format string) string {
 // --- handlers ----------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":       "draining",
+			"datasets":     len(s.DatasetIDs()),
+			"jobs_running": s.jobs.running(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"datasets": len(s.DatasetIDs()),
+	})
+}
+
+// handleReadyz is the readiness half of the health surface: it reports
+// whether this worker should receive new traffic, which is exactly "not
+// draining". Liveness (/healthz) stays useful during a drain for operators
+// watching the worker finish up.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleDrain (POST /v1/admin/drain) flips the server into draining mode
+// for graceful removal from a fleet: health turns 503 so routers eject
+// this worker, new pipeline work is refused, in-flight work finishes.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "draining",
+		"jobs_running": s.jobs.running(),
 	})
 }
 
@@ -641,7 +737,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.met.addCoalesced()
 	}
 	if err != nil {
-		writeRunError(w, r, err)
+		s.writeRunError(w, r, err)
 		return
 	}
 	if !out.degraded {
@@ -684,7 +780,7 @@ func (s *Server) handleReportAsync(w http.ResponseWriter, r *http.Request, d *da
 	case <-j.done:
 		out, err, _ := j.result()
 		if err != nil {
-			writeRunError(w, r, err)
+			s.writeRunError(w, r, err)
 			return
 		}
 		s.writeOutcome(w, format, out)
@@ -750,7 +846,7 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 		s.met.addCoalesced()
 	}
 	if err != nil {
-		writeRunError(w, r, err)
+		s.writeRunError(w, r, err)
 		return
 	}
 	if !out.degraded {
@@ -890,7 +986,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeRunError(w, r, err)
+		s.writeRunError(w, r, err)
 		return
 	}
 	s.writeOutcome(w, j.Format, out)
