@@ -31,6 +31,14 @@
 // ranks as JSON (the same body eliteserve's users:batch endpoint returns,
 // byte for byte, for the same dataset and seed) instead of the report.
 //
+// -trace-out appends the run's span tree — a root "analyze" span with one
+// child per pipeline stage, carrying cache-hit and retry attributes — as
+// JSON lines to the given file (scripts/traceview.sh pretty-prints it),
+// and -timings then includes the trace id so CLI runs can be correlated
+// with served traces. -log-format selects text or json structured logs.
+// Without -trace-out no tracer exists and the report, stderr and timings
+// output are byte-identical to previous releases.
+//
 // Usage:
 //
 //	eliteanalyze -data ./dataset          # analyze a saved dataset
@@ -43,6 +51,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -75,6 +84,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 		featuresF  = flag.String("features", "", "comma-separated out-degree ranks, e.g. 1,2,3: run only the feature-matrix stage and print those users' feature rows as JSON instead of the report")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		traceOut   = flag.String("trace-out", "", "append the run's spans as JSON lines to this file (enables tracing)")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -88,7 +99,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache, *cacheMem, *featuresF)
+	err := run(*data, *n, *seed, *fast, *figdir, *parallel, *stagesF, *timings, *cacheDir, *noCache, *cacheMem, *featuresF, *logFormat, *traceOut)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -111,7 +122,22 @@ func main() {
 	}
 }
 
-func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool, cacheMem int64, featuresF string) error {
+func run(data string, n int, seed uint64, fast bool, figdir string, parallel int, stagesF string, timings bool, cacheDir string, noCache bool, cacheMem int64, featuresF, logFormat, traceOut string) error {
+	logger, err := elites.NewObsLogger(logFormat, os.Stderr)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	// Tracing is opt-in for the CLI: without -trace-out there is no tracer,
+	// no span ids are drawn from the RNG, and all output stays byte-stable.
+	var tracer *elites.Tracer
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		tracer = elites.NewTracer(elites.TracerConfig{Name: "eliteanalyze", Seed: seed, Sink: f})
+	}
 	var (
 		ds       *elites.Dataset
 		activity *elites.DailySeries
@@ -152,12 +178,26 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 			}
 		}
 	}
-	if featuresF != "" {
-		return runFeatures(ds, activity, opts, featuresF)
+	ctx := context.Background()
+	var root *elites.Span
+	traceID := ""
+	if tracer != nil {
+		root = tracer.Root("analyze")
+		ctx = elites.ContextWithSpan(ctx, root)
+		traceID = root.TraceID().String()
 	}
-	rep, err := elites.NewCharacterizer(opts).Run(ds, activity)
+	if featuresF != "" {
+		err := runFeatures(ctx, ds, activity, opts, featuresF)
+		root.End()
+		return err
+	}
+	rep, err := elites.NewCharacterizer(opts).RunContext(ctx, ds, activity)
+	root.End()
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		logger.Info("analysis complete", "trace", traceID, "stages", len(rep.Timings))
 	}
 	rep.Render(os.Stdout)
 	if rep.Cache != nil {
@@ -168,7 +208,7 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 			len(rep.Cache.Misses), rep.Cache.Misses, rep.Cache.Evictions)
 	}
 	if timings {
-		renderTimings(os.Stdout, rep.Timings)
+		renderTimings(os.Stdout, rep.Timings, traceID)
 	}
 	if figdir != "" {
 		if err := writeFigures(figdir, ds, rep, activity); err != nil {
@@ -183,7 +223,7 @@ func run(data string, n int, seed uint64, fast bool, figdir string, parallel int
 // print the requested ranks' rows as a users:batch-shaped JSON body. The
 // output is byte-identical to eliteserve's users:batch response for the
 // same dataset, seed and ranks — the CI serve smoke cmp's the two.
-func runFeatures(ds *elites.Dataset, activity *elites.DailySeries, opts elites.Options, ranksF string) error {
+func runFeatures(ctx context.Context, ds *elites.Dataset, activity *elites.DailySeries, opts elites.Options, ranksF string) error {
 	var ranks []int
 	for _, s := range strings.Split(ranksF, ",") {
 		if s = strings.TrimSpace(s); s == "" {
@@ -205,7 +245,7 @@ func runFeatures(ds *elites.Dataset, activity *elites.DailySeries, opts elites.O
 		}
 	}
 	opts.Stages = []string{elites.StageFeatures}
-	rep, err := elites.NewCharacterizer(opts).Run(ds, activity)
+	rep, err := elites.NewCharacterizer(opts).RunContext(ctx, ds, activity)
 	if err != nil {
 		return err
 	}
@@ -231,8 +271,10 @@ func runFeatures(ds *elites.Dataset, activity *elites.DailySeries, opts elites.O
 // renderTimings prints the per-stage wall-clock table. Stages are listed in
 // execution-graph order; the total is the sum of stage clocks — the run's
 // wall clock is lower whenever stages overlapped, and CPU time is higher
-// whenever a stage sharded its inner loop across workers.
-func renderTimings(w io.Writer, timings []elites.StageTiming) {
+// whenever a stage sharded its inner loop across workers. When tracing is
+// active (-trace-out) the table ends with the run's trace id, so the table
+// can be correlated with the span tree in the JSONL sink.
+func renderTimings(w io.Writer, timings []elites.StageTiming, traceID string) {
 	if len(timings) == 0 {
 		return
 	}
@@ -248,6 +290,9 @@ func renderTimings(w io.Writer, timings []elites.StageTiming) {
 		total += ms
 	}
 	fmt.Fprintf(w, "%-14s %12.3fms\n", "stage-wall sum", total)
+	if traceID != "" {
+		fmt.Fprintf(w, "trace %s\n", traceID)
+	}
 }
 
 // writeFigures renders every paper figure as an SVG file.

@@ -15,7 +15,17 @@
 //	GET  /healthz          router liveness + available-worker count
 //	GET  /metrics          Prometheus text metrics (eliterouter_*)
 //	GET  /fleet/workers    per-worker state (health, breaker, counters)
+//	GET  /debug/traces     recent request span trees as JSON
 //	(everything else)      proxied onto the fleet by identity
+//
+// Every proxied request gets a root span; retries, hedges, breaker
+// trips and degraded serves are span events, and the traceparent header
+// injected on each attempt makes the worker's serve and pipeline spans
+// part of the same trace (query both /debug/traces with one trace id).
+// -trace-out appends every finished span as a JSON line
+// (scripts/traceview.sh pretty-prints it); -log-format picks text or
+// JSON structured logs; -slow-request logs the full span tree of
+// requests over the threshold.
 //
 // Usage:
 //
@@ -67,13 +77,17 @@ func main() {
 		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed delay before hedging a warm GET (0 = adaptive p95 of recent latencies)")
 		faultSpec     = flag.String("faults", "", `inject deterministic network faults, e.g. "net:127.0.0.1:9001=drop:times=3" (testing; overrides $ELITES_FAULTS)`)
 		faultSeed     = flag.Uint64("faults-seed", 1, "seed for probabilistic fault rules")
-		seed          = flag.Uint64("seed", 42, "seed for backoff and Retry-After jitter")
+		seed          = flag.Uint64("seed", 42, "seed for backoff, Retry-After jitter and trace ids")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		traceOut      = flag.String("trace-out", "", "append every finished span as a JSON line to this file")
+		slowReq       = flag.Duration("slow-request", 0, "log the full span tree of requests at least this slow (0 = off)")
 	)
 	flag.Var(&workers, "worker", "eliteserve base URL (repeatable; at least one required)")
 	flag.Parse()
 
 	if err := run(*addr, *cacheDir, *probeInterval, *ejectAfter, *retries,
-		*reqTimeout, *hedgeAfter, *faultSpec, *faultSeed, *seed, workers); err != nil {
+		*reqTimeout, *hedgeAfter, *faultSpec, *faultSeed, *seed,
+		*logFormat, *traceOut, *slowReq, workers); err != nil {
 		fmt.Fprintln(os.Stderr, "eliterouter:", err)
 		os.Exit(1)
 	}
@@ -81,7 +95,20 @@ func main() {
 
 func run(addr, cacheDir string, probeInterval time.Duration, ejectAfter, retries int,
 	reqTimeout, hedgeAfter time.Duration, faultSpec string, faultSeed, seed uint64,
-	workers []string) error {
+	logFormat, traceOut string, slowReq time.Duration, workers []string) error {
+	logger, err := elites.NewObsLogger(logFormat, os.Stderr)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	tcfg := elites.TracerConfig{Name: "eliterouter:" + addr, Seed: seed}
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		tcfg.Sink = f
+	}
 	cfg := elites.RouterConfig{
 		Workers:        workers,
 		ProbeInterval:  probeInterval,
@@ -91,6 +118,9 @@ func run(addr, cacheDir string, probeInterval time.Duration, ejectAfter, retries
 		HedgeAfter:     hedgeAfter,
 		CacheDir:       cacheDir,
 		Seed:           seed,
+		Tracer:         elites.NewTracer(tcfg),
+		Logger:         logger,
+		SlowRequest:    slowReq,
 	}
 	if faultSpec == "" {
 		faultSpec = os.Getenv("ELITES_FAULTS")

@@ -18,6 +18,16 @@
 //	GET  /v1/datasets/{id}/users/{rank}/features   per-user feature row + scorer verdict
 //	POST /v1/datasets/{id}/users:batch         batched feature rows ({"ranks":[1,2,3]})
 //	GET  /v1/jobs/{id}, /v1/jobs/{id}/result   async job status / result
+//	GET  /debug/traces                         recent request span trees as JSON
+//
+// Every request gets a serve.* span — admission waits, body-cache and
+// stage-cache hits, per-stage pipeline timings, retries and recovered
+// panics all hang off it — and an incoming traceparent header (as
+// injected by eliterouter) continues the caller's trace instead of
+// starting a new one. -trace-out appends finished spans as JSON lines
+// (scripts/traceview.sh pretty-prints them), -log-format selects text
+// or JSON structured logs, and -slow-request dumps the span tree of
+// any request over the threshold to the log.
 //
 // Identical concurrent requests coalesce onto one pipeline run; -cache
 // makes warm requests hydrate from the content-addressed result cache (the
@@ -88,6 +98,11 @@ func main() {
 		stageRetries = flag.Int("stage-retries", 0, "re-run a failed (non-panicking) stage up to this many times before degrading the report")
 		faultSpec    = flag.String("faults", "", `inject deterministic faults, e.g. "stage:degree=error,cache:read=ioerror:times=all" (testing; overrides $ELITES_FAULTS)`)
 		faultSeed    = flag.Uint64("faults-seed", 1, "seed for probabilistic fault rules")
+
+		// Observability knobs (see docs/ARCHITECTURE.md "Observability").
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		traceOut  = flag.String("trace-out", "", "append every finished span as a JSON line to this file")
+		slowReq   = flag.Duration("slow-request", 0, "log the full span tree of requests at least this slow (0 = off)")
 	)
 	flag.Var(&dataFlags, "data", "register a dataset directory as id=path (repeatable)")
 	flag.Var(&genFlags, "gen", "register a generated dataset as id=kind:n:seed, kind verified|twitter (repeatable)")
@@ -95,7 +110,8 @@ func main() {
 
 	if err := run(*addr, *seed, *fast, *parallel, *cacheDir, *cacheMem,
 		*maxConc, *maxQueue, *asyncAfter, *bodyCache, *drainWait,
-		*stageRetries, *faultSpec, *faultSeed, dataFlags, genFlags); err != nil {
+		*stageRetries, *faultSpec, *faultSeed,
+		*logFormat, *traceOut, *slowReq, dataFlags, genFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "eliteserve:", err)
 		os.Exit(1)
 	}
@@ -103,7 +119,21 @@ func main() {
 
 func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cacheMem int64,
 	maxConc, maxQueue int, asyncAfter time.Duration, bodyCache int64, drainWait time.Duration,
-	stageRetries int, faultSpec string, faultSeed uint64, dataFlags, genFlags []string) error {
+	stageRetries int, faultSpec string, faultSeed uint64,
+	logFormat, traceOut string, slowReq time.Duration, dataFlags, genFlags []string) error {
+	logger, err := elites.NewObsLogger(logFormat, os.Stderr)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	tcfg := elites.TracerConfig{Name: "eliteserve:" + addr, Seed: seed}
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		tcfg.Sink = f
+	}
 	opts := elites.Options{
 		Seed: seed, Parallelism: parallel,
 		CacheDir: cacheDir, CacheMemBytes: cacheMem,
@@ -132,6 +162,9 @@ func run(addr string, seed uint64, fast bool, parallel int, cacheDir string, cac
 		MaxQueue:       maxQueue,
 		AsyncAfter:     asyncAfter,
 		BodyCacheBytes: bodyCache,
+		Tracer:         elites.NewTracer(tcfg),
+		Logger:         logger,
+		SlowRequest:    slowReq,
 	})
 
 	for _, spec := range dataFlags {

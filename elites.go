@@ -56,6 +56,7 @@ import (
 	"elites/internal/gen"
 	"elites/internal/graph"
 	"elites/internal/mathx"
+	"elites/internal/obs"
 	"elites/internal/powerlaw"
 	"elites/internal/serve"
 	"elites/internal/spectral"
@@ -326,6 +327,37 @@ type (
 // NewRouter builds the fleet coordinator; call Start to launch its health
 // prober and mount it as an http.Handler.
 var NewRouter = fleet.New
+
+// --- Observability ---------------------------------------------------------------
+
+// Re-exported observability types (internal/obs): the tracing, metrics
+// and structured-logging layer shared by the router, server and CLI.
+type (
+	// Tracer records request-scoped span trees (W3C traceparent
+	// propagation, /debug/traces ring buffer, JSONL sink).
+	Tracer = obs.Tracer
+	// TracerConfig configures a Tracer (name, seed, ring size, sink).
+	TracerConfig = obs.TracerConfig
+	// Span is one timed operation in a trace.
+	Span = obs.Span
+)
+
+// Observability entry points.
+var (
+	// NewTracer builds a Tracer; pass it to ServerConfig.Tracer /
+	// RouterConfig.Tracer, or drive it directly with Root/StartSpan.
+	NewTracer = obs.NewTracer
+	// NewObsLogger builds a log/slog logger in "text" or "json" format —
+	// the value space of the commands' -log-format flag.
+	NewObsLogger = obs.NewLogger
+	// ContextWithSpan / SpanFromContext thread spans through call trees;
+	// Characterizer.RunContext emits per-stage spans when its context
+	// carries one.
+	ContextWithSpan = obs.ContextWithSpan
+	SpanFromContext = obs.SpanFromContext
+	// RenderTree formats one trace's spans as an indented duration tree.
+	RenderTree = obs.RenderTree
+)
 
 // --- Fault injection -------------------------------------------------------------
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"elites/internal/cache"
@@ -23,6 +24,7 @@ import (
 	"elites/internal/features"
 	"elites/internal/graph"
 	"elites/internal/mathx"
+	"elites/internal/obs"
 	"elites/internal/pipeline"
 	"elites/internal/powerlaw"
 	"elites/internal/spectral"
@@ -612,13 +614,52 @@ func (c *Characterizer) RunContext(ctx context.Context, ds *twitter.Dataset, act
 			defer rcache.SetFaults(nil)
 		}
 	}
-	if obs := c.opts.StageObserver; obs != nil {
+	// Tracing: when the caller's context carries a span (a served request
+	// or a -trace-out CLI run), wrap the whole battery in a "pipeline"
+	// span and synthesize one "stage.<name>" child per executed stage from
+	// its Timing — cache hit/miss and retry counts as attrs; injected
+	// faults, recovered panics and retries as events. Observation never
+	// shapes results, so this composes with the StageObserver hook.
+	runSpan := obs.SpanFromContext(ctx).Child("pipeline")
+	observer := c.opts.StageObserver
+	if observer != nil || runSpan != nil {
 		popts.Observe = func(tm pipeline.Timing) {
-			obs(StageTiming{Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
-				Err: tm.Err, Skipped: tm.Skipped, Retries: tm.Retries})
+			if observer != nil {
+				observer(StageTiming{Name: tm.Name, Duration: tm.Duration, CacheHit: tm.CacheHit,
+					Err: tm.Err, Skipped: tm.Skipped, Retries: tm.Retries})
+			}
+			if runSpan == nil {
+				return
+			}
+			sp := runSpan.ChildAt("stage."+tm.Name, tm.Start)
+			sp.SetAttrBool("cache_hit", tm.CacheHit)
+			sp.SetAttrInt("retries", tm.Retries)
+			if tm.Retries > 0 {
+				sp.AddEventAt("retry", tm.Start, "count", strconv.Itoa(tm.Retries))
+			}
+			if tm.Err != nil {
+				sp.SetAttr("error", tm.Err.Error())
+				if errors.Is(tm.Err, faults.ErrInjected) {
+					sp.AddEventAt("fault.injected", tm.Start)
+				}
+				var pe *pipeline.StagePanicError
+				if errors.As(tm.Err, &pe) {
+					sp.AddEventAt("panic.recovered", tm.Start, "value", fmt.Sprint(pe.Value))
+				}
+			}
+			sp.EndAt(tm.Start.Add(tm.Duration))
 		}
 	}
 	timings, runErr := pipeline.RunContext(runCtx, stages, popts)
+	if runSpan != nil {
+		if runErr != nil && errors.Is(runErr, pipeline.ErrCanceled) {
+			runSpan.AddEvent("canceled")
+		}
+		if runErr != nil {
+			runSpan.SetAttr("error", runErr.Error())
+		}
+		runSpan.End()
+	}
 	if c.opts.Timings {
 		for _, tm := range timings {
 			// Deselected stages stay invisible; failed stages and

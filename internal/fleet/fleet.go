@@ -36,8 +36,10 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -47,6 +49,7 @@ import (
 	"elites/internal/cache"
 	"elites/internal/faults"
 	"elites/internal/mathx"
+	"elites/internal/obs"
 )
 
 const (
@@ -105,6 +108,17 @@ type Config struct {
 	Faults *faults.Injector
 	// Seed feeds the backoff and Retry-After jitter streams.
 	Seed uint64
+
+	// Tracer, when non-nil, opens a root span per proxied request,
+	// injects traceparent on every attempt (so worker spans share the
+	// trace id), and serves the span buffer at GET /debug/traces.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured record per proxied
+	// request plus warnings for degradation-ladder transitions.
+	Logger *slog.Logger
+	// SlowRequest, when > 0 and Logger and Tracer are set, logs the full
+	// span tree of requests at least this slow.
+	SlowRequest time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -233,9 +247,11 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
 		rt.handleHealthz(w)
 	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
-		rt.handleMetrics(w)
+		rt.handleMetrics(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/fleet/workers":
 		rt.handleWorkers(w)
+	case r.URL.Path == "/debug/traces":
+		rt.cfg.Tracer.ServeTraces(w, r)
 	default:
 		rt.proxy(w, r)
 	}
@@ -263,9 +279,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter) {
 	})
 }
 
-func (rt *Router) handleMetrics(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	rt.met.write(w, time.Now(), rt.infos())
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ct, om := obs.NegotiateExposition(r.Header)
+	w.Header().Set("Content-Type", ct)
+	rt.met.write(w, rt.infos(), om)
 }
 
 func (rt *Router) handleWorkers(w http.ResponseWriter) {
@@ -344,8 +361,70 @@ type attemptResult struct {
 	err  error
 }
 
+// statusRecorder captures the written status code for metrics/tracing.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+// proxy instruments one routed request — root span (continuing any
+// incoming traceparent), per-request metrics with trace-id exemplar,
+// structured log record, slow-request span-tree dump — around the
+// routing machinery in proxyRouted.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	sp := rt.cfg.Tracer.StartFromHeader(r.Header, "router.request")
+	if sp != nil {
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	class := rt.proxyRouted(rec, r, start)
+	code := rec.status
+	if code == 0 {
+		// Nothing written: the client went away mid-request.
+		code = 499
+	}
+	dur := time.Since(start)
+	traceID := ""
+	if sp != nil {
+		traceID = sp.TraceID().String()
+		sp.SetAttr("class", class)
+		sp.SetAttrInt("status", code)
+		sp.End()
+	}
+	rt.met.observeRequest(class, code, dur, traceID)
+	if lg := rt.cfg.Logger; lg != nil {
+		l := obs.WithSpan(lg, sp)
+		l.Info("request",
+			"class", class, "method", r.Method, "path", r.URL.Path,
+			"status", code, "dur_ms", float64(dur.Microseconds())/1000)
+		if rt.cfg.SlowRequest > 0 && dur >= rt.cfg.SlowRequest && sp != nil {
+			l.Warn("slow request",
+				"threshold", rt.cfg.SlowRequest.String(),
+				"span_tree", "\n"+obs.RenderTree(rt.cfg.Tracer.TraceSpans(traceID)))
+		}
+	}
+}
+
+// proxyRouted is the routing body: identity, attempts, degradation. It
+// returns the route class for the metrics series.
+func (rt *Router) proxyRouted(w http.ResponseWriter, r *http.Request, start time.Time) string {
 	key, class, retryOn404, cacheable := rt.identityKey(r)
 
 	var body []byte
@@ -354,13 +433,11 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		body, err = io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
-			rt.met.observeRequest(class, http.StatusBadRequest, time.Since(start))
-			return
+			return class
 		}
 		if len(body) > maxRequestBody {
 			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body too large"})
-			rt.met.observeRequest(class, http.StatusRequestEntityTooLarge, time.Since(start))
-			return
+			return class
 		}
 	}
 
@@ -377,8 +454,8 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 
 	res := rt.runAttempts(ctx, r, candidates, body, retryOn404)
 	if res == nil {
-		rt.degrade(w, r, key, class, cacheable, start)
-		return
+		rt.degrade(w, r, key, cacheable)
+		return class
 	}
 
 	if res.idx > 0 {
@@ -394,7 +471,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Elites-Worker", res.w.name)
 	w.WriteHeader(res.resp.status)
 	w.Write(res.resp.body)
-	rt.met.observeRequest(class, res.resp.status, time.Since(start))
+	return class
 }
 
 // runAttempts walks the candidate list: sequential budgeted retries on
@@ -410,19 +487,20 @@ func (rt *Router) runAttempts(ctx context.Context, r *http.Request, candidates [
 		pathq += "?" + r.URL.RawQuery
 	}
 
+	sp := obs.SpanFromContext(ctx)
 	resc := make(chan attemptResult, len(candidates))
 	launched := 0
-	launch := func() bool {
+	launch := func(hedge bool) bool {
 		if launched >= len(candidates) {
 			return false
 		}
 		wk, idx := candidates[launched], launched
 		launched++
-		go rt.attempt(ctx, wk, idx, r, pathq, body, resc)
+		go rt.attempt(ctx, wk, idx, hedge, r, pathq, body, resc)
 		return true
 	}
 
-	launch()
+	launch(false)
 	outstanding := 1
 	retriesUsed := 0
 	hedged := false
@@ -438,14 +516,21 @@ func (rt *Router) runAttempts(ctx context.Context, r *http.Request, candidates [
 		select {
 		case res := <-resc:
 			outstanding--
-			switch rt.classify(&res, retryOn404) {
+			v, tripped := rt.classify(&res, retryOn404)
+			if tripped {
+				sp.AddEvent("breaker.open", "worker", res.w.name)
+				if lg := rt.cfg.Logger; lg != nil {
+					obs.WithSpan(lg, sp).Warn("breaker open", "worker", res.w.name)
+				}
+			}
+			switch v {
 			case verdictServe:
 				return &res
 			case verdictSoft:
 				// Jobs scatter: the worker is healthy, the job just is
 				// not there. Try the next worker immediately; if the
 				// scatter is exhausted, the 404 stands.
-				if outstanding == 0 && !launch() {
+				if outstanding == 0 && !launch(false) {
 					return &res
 				}
 				if outstanding == 0 {
@@ -461,19 +546,21 @@ func (rt *Router) runAttempts(ctx context.Context, r *http.Request, candidates [
 				if !rt.backoffSleep(ctx) {
 					return nil
 				}
-				if !launch() {
+				if !launch(false) {
 					return nil
 				}
 				retriesUsed++
 				outstanding++
 				rt.met.addRetry()
+				sp.AddEvent("retry", "failed_worker", res.w.name)
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if !hedged && launch() {
+			if !hedged && launch(true) {
 				hedged = true
 				outstanding++
 				rt.met.addHedge()
+				sp.AddEvent("hedge")
 			}
 		case <-ctx.Done():
 			return nil
@@ -494,31 +581,53 @@ const (
 // worker's failure accounting. Transport errors and 5xx answers are
 // worker faults (breaker input); 429 is a healthy-but-busy signal,
 // retried without blaming the worker; a jobs-scatter 404 is soft.
-func (rt *Router) classify(res *attemptResult, retryOn404 bool) verdict {
+// tripped reports whether this failure opened the worker's breaker.
+func (rt *Router) classify(res *attemptResult, retryOn404 bool) (v verdict, tripped bool) {
 	switch {
 	case res.err != nil:
-		res.w.noteRequestFailure()
-		return verdictRetry
+		return verdictRetry, res.w.noteRequestFailure()
 	case res.resp.status >= 500:
-		res.w.noteRequestFailure()
-		return verdictRetry
+		return verdictRetry, res.w.noteRequestFailure()
 	case res.resp.status == http.StatusTooManyRequests:
 		res.w.noteRequestSuccess()
-		return verdictRetry
+		return verdictRetry, false
 	case res.resp.status == http.StatusNotFound && retryOn404:
 		res.w.noteRequestSuccess()
-		return verdictSoft
+		return verdictSoft, false
 	default:
 		res.w.noteRequestSuccess()
-		return verdictServe
+		return verdictServe, false
 	}
 }
 
-// attempt sends one request to one worker and reports on resc.
-func (rt *Router) attempt(ctx context.Context, wk *worker, idx int, r *http.Request, pathq string, body []byte, resc chan<- attemptResult) {
+// attempt sends one request to one worker and reports on resc. Each
+// attempt gets its own child span (hedged attempts are siblings with a
+// hedge=true attr), and that span's traceparent is injected upstream so
+// the worker's serve/pipeline spans continue the same trace.
+func (rt *Router) attempt(ctx context.Context, wk *worker, idx int, hedge bool, r *http.Request, pathq string, body []byte, resc chan<- attemptResult) {
+	asp := obs.SpanFromContext(ctx).Child("router.attempt")
+	asp.SetAttr("worker", wk.name)
+	asp.SetAttrInt("attempt", idx)
+	if hedge {
+		asp.SetAttrBool("hedge", true)
+	}
+	finish := func(res attemptResult) {
+		switch {
+		case res.err != nil:
+			asp.SetAttr("error", res.err.Error())
+			if errors.Is(res.err, faults.ErrInjected) {
+				asp.AddEvent("fault.injected")
+			}
+		case res.resp != nil:
+			asp.SetAttrInt("status", res.resp.status)
+		}
+		asp.End()
+		resc <- res
+	}
+
 	req, err := http.NewRequestWithContext(ctx, r.Method, wk.url.String()+pathq, bodyReader(body))
 	if err != nil {
-		resc <- attemptResult{idx: idx, w: wk, err: err}
+		finish(attemptResult{idx: idx, w: wk, err: err})
 		return
 	}
 	for _, k := range []string{"Content-Type", "Accept"} {
@@ -526,13 +635,14 @@ func (rt *Router) attempt(ctx context.Context, wk *worker, idx int, r *http.Requ
 			req.Header.Set(k, v)
 		}
 	}
+	obs.InjectHeader(req.Header, asp)
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		resc <- attemptResult{idx: idx, w: wk, err: err}
+		finish(attemptResult{idx: idx, w: wk, err: err})
 		return
 	}
 	ur, err := readResponse(resp)
-	resc <- attemptResult{idx: idx, w: wk, resp: ur, err: err}
+	finish(attemptResult{idx: idx, w: wk, resp: ur, err: err})
 }
 
 // backoffSleep waits one decorrelated-jitter interval:
@@ -616,7 +726,8 @@ func (rt *Router) hedgeDelay() (time.Duration, bool) {
 // last-known-good body serve those exact bytes (byte-identical to the
 // last healthy response for this identity) with a Warning header;
 // everything else sheds with 503 + jittered Retry-After.
-func (rt *Router) degrade(w http.ResponseWriter, r *http.Request, key uint64, class string, cacheable bool, start time.Time) {
+func (rt *Router) degrade(w http.ResponseWriter, r *http.Request, key uint64, cacheable bool) {
+	sp := obs.SpanFromContext(r.Context())
 	if r.Method == http.MethodGet && cacheable {
 		if ct, body, ok := rt.lkg.get(key); ok {
 			if ct != "" {
@@ -627,7 +738,10 @@ func (rt *Router) degrade(w http.ResponseWriter, r *http.Request, key uint64, cl
 			w.WriteHeader(http.StatusOK)
 			w.Write(body)
 			rt.met.addDegraded()
-			rt.met.observeRequest(class, http.StatusOK, time.Since(start))
+			sp.AddEvent("degraded")
+			if lg := rt.cfg.Logger; lg != nil {
+				obs.WithSpan(lg, sp).Warn("degraded response", "path", r.URL.Path)
+			}
 			return
 		}
 	}
@@ -636,7 +750,10 @@ func (rt *Router) degrade(w http.ResponseWriter, r *http.Request, key uint64, cl
 		"error": "no worker available and no cached response",
 	})
 	rt.met.addShed()
-	rt.met.observeRequest(class, http.StatusServiceUnavailable, time.Since(start))
+	sp.AddEvent("shed")
+	if lg := rt.cfg.Logger; lg != nil {
+		obs.WithSpan(lg, sp).Warn("request shed", "path", r.URL.Path)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -77,9 +77,15 @@ func (rt *Router) probeWorker(ctx context.Context, wk *worker) {
 		wk.mu.Lock()
 		wk.sawDigests = false
 		wk.mu.Unlock()
+		if lg := rt.cfg.Logger; lg != nil {
+			lg.Warn("worker ejected", "worker", wk.name)
+		}
 	}
 	if readmitted {
 		rt.met.addReadmission()
+		if lg := rt.cfg.Logger; lg != nil {
+			lg.Info("worker readmitted", "worker", wk.name)
+		}
 	}
 	if ok {
 		wk.mu.Lock()

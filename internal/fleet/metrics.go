@@ -1,158 +1,124 @@
 package fleet
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
+
+	"elites/internal/obs"
 )
 
-// metrics.go is the router's Prometheus-text exposition, in the same
-// dependency-free style as internal/serve: per-worker availability and
-// breaker gauges plus fleet-wide counters for every robustness mechanism —
-// retries, hedges, failovers, ejections, degraded serves — so an operator
-// watching a chaos drill can see exactly which layer absorbed each fault.
-
-// fleetLatencyBuckets are the histogram upper bounds, in seconds.
-var fleetLatencyBuckets = []float64{
-	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
-}
+// metrics.go is the router's exposition, rendered from the shared
+// obs.Registry like internal/serve: per-worker availability and breaker
+// gauges plus fleet-wide counters for every robustness mechanism —
+// retries, hedges, failovers, ejections, degraded serves — so an
+// operator watching a chaos drill can see exactly which layer absorbed
+// each fault. Every metric name from the pre-registry emitter is
+// preserved; per-worker gauge rows are rebuilt from a live workerInfo
+// snapshot on each scrape.
 
 type fleetMetrics struct {
-	mu       sync.Mutex
-	started  time.Time
-	requests map[reqKey]uint64 // by route class and status code
+	reg *obs.Registry
 
-	latCounts []uint64
-	latSum    float64
-	latCount  uint64
+	workerUp    *obs.GaugeVec
+	available   *obs.Gauge
+	breakerOpen *obs.GaugeVec
+	brTrips     atomic.Uint64 // synced from workerInfo on each scrape
 
-	retries      uint64 // sequential failover attempts after a failure
-	hedges       uint64 // speculative attempts launched by the latency trigger
-	failovers    uint64 // responses ultimately served by a non-primary worker
-	degraded     uint64 // last-known-good bodies served with a Warning header
-	shed         uint64 // 503s with no worker and no last-known-good body
-	probeFails   uint64 // health probes that failed
-	ejections    uint64 // workers ejected (up/probation -> down)
-	readmissions uint64 // workers readmitted to probation
-}
+	requests *obs.CounterVec
+	latency  *obs.Histogram
 
-// reqKey labels one requests-counter series.
-type reqKey struct {
-	route string
-	code  int
+	retries      *obs.Counter // sequential failover attempts after a failure
+	hedges       *obs.Counter // speculative attempts launched by the latency trigger
+	failovers    *obs.Counter // responses ultimately served by a non-primary worker
+	degraded     *obs.Counter // last-known-good bodies served with a Warning header
+	shed         *obs.Counter // 503s with no worker and no last-known-good body
+	probeFails   *obs.Counter // health probes that failed
+	ejections    *obs.Counter // workers ejected (up/probation -> down)
+	readmissions *obs.Counter // workers readmitted to probation
 }
 
 func newFleetMetrics(now time.Time) *fleetMetrics {
-	return &fleetMetrics{
-		started:   now,
-		requests:  map[reqKey]uint64{},
-		latCounts: make([]uint64, len(fleetLatencyBuckets)+1),
-	}
+	reg := obs.NewRegistry()
+	m := &fleetMetrics{reg: reg}
+
+	reg.GaugeFunc("eliterouter_uptime_seconds", "Time since the router started.", 3,
+		func() float64 { return time.Since(now).Seconds() })
+	m.workerUp = reg.GaugeVec("eliterouter_worker_up",
+		"Whether the health prober considers the worker servable (up or probation).",
+		obs.GaugeShortest, "worker")
+	m.available = reg.Gauge("eliterouter_workers_available", "Workers currently servable.", obs.GaugeShortest)
+	m.breakerOpen = reg.GaugeVec("eliterouter_breaker_open",
+		"Whether the worker's request circuit breaker is open.",
+		obs.GaugeShortest, "worker")
+	m.requests = reg.CounterVec("eliterouter_requests_total",
+		"Routed requests by route class and status code.", "route", "code")
+	m.latency = reg.Histogram("eliterouter_request_duration_seconds",
+		"Routed request latency.", obs.DefaultLatencyBuckets)
+
+	m.retries = reg.Counter("eliterouter_retries_total", "Failover attempts launched after a failed attempt.")
+	m.hedges = reg.Counter("eliterouter_hedges_total", "Speculative (hedged) attempts launched by the latency trigger.")
+	m.failovers = reg.Counter("eliterouter_failovers_total", "Responses served by a worker other than the rendezvous primary.")
+	reg.CounterFunc("eliterouter_breaker_trips_total", "Per-worker circuit breaker open transitions.",
+		m.brTrips.Load)
+	m.degraded = reg.Counter("eliterouter_degraded_total", "Last-known-good cached bodies served because every attempt failed.")
+	m.shed = reg.Counter("eliterouter_shed_total", "Requests shed with 503 (no worker available, no cached body).")
+	m.probeFails = reg.Counter("eliterouter_probe_failures_total", "Health probes that failed.")
+	m.ejections = reg.Counter("eliterouter_ejections_total", "Workers ejected by the health prober.")
+	m.readmissions = reg.Counter("eliterouter_readmissions_total", "Workers readmitted to probation after a healthy probe.")
+	return m
 }
 
-func (m *fleetMetrics) observeRequest(route string, code int, d time.Duration) {
-	sec := d.Seconds()
-	m.mu.Lock()
-	m.requests[reqKey{route, code}]++
-	i := sort.SearchFloat64s(fleetLatencyBuckets, sec)
-	m.latCounts[i]++
-	m.latSum += sec
-	m.latCount++
-	m.mu.Unlock()
+// observeRequest records one routed request; traceID, when non-empty,
+// becomes the latency bucket's exemplar.
+func (m *fleetMetrics) observeRequest(route string, code int, d time.Duration, traceID string) {
+	m.requests.Inc(route, strconv.Itoa(code))
+	m.latency.ObserveExemplar(d.Seconds(), traceID)
 }
 
-func (m *fleetMetrics) addRetry()       { m.mu.Lock(); m.retries++; m.mu.Unlock() }
-func (m *fleetMetrics) addHedge()       { m.mu.Lock(); m.hedges++; m.mu.Unlock() }
-func (m *fleetMetrics) addFailover()    { m.mu.Lock(); m.failovers++; m.mu.Unlock() }
-func (m *fleetMetrics) addDegraded()    { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
-func (m *fleetMetrics) addShed()        { m.mu.Lock(); m.shed++; m.mu.Unlock() }
-func (m *fleetMetrics) addProbeFail()   { m.mu.Lock(); m.probeFails++; m.mu.Unlock() }
-func (m *fleetMetrics) addEjection()    { m.mu.Lock(); m.ejections++; m.mu.Unlock() }
-func (m *fleetMetrics) addReadmission() { m.mu.Lock(); m.readmissions++; m.mu.Unlock() }
+func (m *fleetMetrics) addRetry()       { m.retries.Inc() }
+func (m *fleetMetrics) addHedge()       { m.hedges.Inc() }
+func (m *fleetMetrics) addFailover()    { m.failovers.Inc() }
+func (m *fleetMetrics) addDegraded()    { m.degraded.Inc() }
+func (m *fleetMetrics) addShed()        { m.shed.Inc() }
+func (m *fleetMetrics) addProbeFail()   { m.probeFails.Inc() }
+func (m *fleetMetrics) addEjection()    { m.ejections.Inc() }
+func (m *fleetMetrics) addReadmission() { m.readmissions.Inc() }
 
 // counters snapshots the robustness counters, for tests.
 func (m *fleetMetrics) counters() (retries, hedges, failovers, degraded, shed uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.retries, m.hedges, m.failovers, m.degraded, m.shed
+	return m.retries.Value(), m.hedges.Value(), m.failovers.Value(), m.degraded.Value(), m.shed.Value()
 }
 
-// write renders the exposition; infos carries the per-worker state rows.
-func (m *fleetMetrics) write(w io.Writer, now time.Time, infos []workerInfo) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP eliterouter_uptime_seconds Time since the router started.\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "eliterouter_uptime_seconds %.3f\n", now.Sub(m.started).Seconds())
-
-	fmt.Fprintf(w, "# HELP eliterouter_worker_up Whether the health prober considers the worker servable (up or probation).\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_worker_up gauge\n")
+// sync rebuilds the per-worker gauges and the trip total from a live
+// snapshot; called by write before rendering.
+func (m *fleetMetrics) sync(infos []workerInfo) {
+	m.workerUp.Reset()
+	m.breakerOpen.Reset()
 	available := 0
+	var trips uint64
 	for _, wi := range infos {
-		up := 0
+		up := 0.0
 		if wi.State != "down" {
 			up = 1
 			available++
 		}
-		fmt.Fprintf(w, "eliterouter_worker_up{worker=%q} %d\n", wi.Worker, up)
-	}
-	fmt.Fprintf(w, "# HELP eliterouter_workers_available Workers currently servable.\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_workers_available gauge\n")
-	fmt.Fprintf(w, "eliterouter_workers_available %d\n", available)
-
-	fmt.Fprintf(w, "# HELP eliterouter_breaker_open Whether the worker's request circuit breaker is open.\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_breaker_open gauge\n")
-	var trips uint64
-	for _, wi := range infos {
-		open := 0
+		m.workerUp.Set(up, wi.Worker)
+		open := 0.0
 		if wi.BreakerOpen {
 			open = 1
 		}
+		m.breakerOpen.Set(open, wi.Worker)
 		trips += wi.brTrips
-		fmt.Fprintf(w, "eliterouter_breaker_open{worker=%q} %d\n", wi.Worker, open)
 	}
+	m.available.Set(float64(available))
+	m.brTrips.Store(trips)
+}
 
-	fmt.Fprintf(w, "# HELP eliterouter_requests_total Routed requests by route class and status code.\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_requests_total counter\n")
-	keys := make([]reqKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].route != keys[j].route {
-			return keys[i].route < keys[j].route
-		}
-		return keys[i].code < keys[j].code
-	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "eliterouter_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
-	}
-
-	fmt.Fprintf(w, "# HELP eliterouter_request_duration_seconds Routed request latency.\n")
-	fmt.Fprintf(w, "# TYPE eliterouter_request_duration_seconds histogram\n")
-	cum := uint64(0)
-	for i, ub := range fleetLatencyBuckets {
-		cum += m.latCounts[i]
-		fmt.Fprintf(w, "eliterouter_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
-	}
-	cum += m.latCounts[len(fleetLatencyBuckets)]
-	fmt.Fprintf(w, "eliterouter_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "eliterouter_request_duration_seconds_sum %.6f\n", m.latSum)
-	fmt.Fprintf(w, "eliterouter_request_duration_seconds_count %d\n", m.latCount)
-
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("eliterouter_retries_total", "Failover attempts launched after a failed attempt.", m.retries)
-	counter("eliterouter_hedges_total", "Speculative (hedged) attempts launched by the latency trigger.", m.hedges)
-	counter("eliterouter_failovers_total", "Responses served by a worker other than the rendezvous primary.", m.failovers)
-	counter("eliterouter_breaker_trips_total", "Per-worker circuit breaker open transitions.", trips)
-	counter("eliterouter_degraded_total", "Last-known-good cached bodies served because every attempt failed.", m.degraded)
-	counter("eliterouter_shed_total", "Requests shed with 503 (no worker available, no cached body).", m.shed)
-	counter("eliterouter_probe_failures_total", "Health probes that failed.", m.probeFails)
-	counter("eliterouter_ejections_total", "Workers ejected by the health prober.", m.ejections)
-	counter("eliterouter_readmissions_total", "Workers readmitted to probation after a healthy probe.", m.readmissions)
+// write renders the exposition in the requested flavor; infos carries
+// the per-worker state rows.
+func (m *fleetMetrics) write(w io.Writer, infos []workerInfo, om bool) {
+	m.sync(infos)
+	m.reg.Write(w, om)
 }

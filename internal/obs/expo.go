@@ -1,0 +1,253 @@
+package obs
+
+// expo.go is a strict validator for the classic Prometheus text
+// exposition format (0.0.4). It exists for the golden tests that pin
+// both /metrics endpoints to valid exposition output — the serve and
+// fleet emitters once formatted label escaping independently and
+// drifted, which is exactly the class of bug a shared parser catches.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips the histogram sample suffixes so _bucket/_sum/_count
+// samples attribute to their family.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ValidateExposition checks that b is well-formed classic Prometheus
+// text exposition: every line is a HELP/TYPE comment or a sample;
+// sample names are valid and declared by a preceding TYPE; labels are
+// well-formed with properly escaped quoted values; sample values parse
+// as floats; histograms carry _bucket, _sum and _count samples. The
+// first violation is returned with its line number.
+func ValidateExposition(b []byte) error {
+	types := map[string]string{}      // family -> declared type
+	sampled := map[string]bool{}      // family -> saw any sample
+	histParts := map[string][3]bool{} // family -> bucket/sum/count seen
+	helped := map[string]bool{}       // family -> HELP seen
+	lines := strings.Split(string(b), "\n")
+	for ln, line := range lines {
+		n := ln + 1
+		if line == "" {
+			if ln != len(lines)-1 {
+				return fmt.Errorf("line %d: blank line inside exposition", n)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return fmt.Errorf("line %d: malformed comment %q", n, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("line %d: bad metric name in HELP: %q", n, fields[2])
+				}
+				if helped[fields[2]] {
+					return fmt.Errorf("line %d: duplicate HELP for %s", n, fields[2])
+				}
+				helped[fields[2]] = true
+			case "TYPE":
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("line %d: bad metric name in TYPE: %q", n, fields[2])
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE missing kind", n)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", n, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", n, fields[2])
+				}
+				if sampled[fields[2]] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", n, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			default:
+				return fmt.Errorf("line %d: unknown comment keyword %q", n, fields[1])
+			}
+			continue
+		}
+
+		name, rest, err := parseSampleName(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		fam := baseName(name)
+		typ, declared := types[fam]
+		if !declared {
+			// _sum on a family named *_sum etc. can't happen here, but a
+			// sample whose full name was declared directly is fine too.
+			if t2, ok := types[name]; ok {
+				fam, typ, declared = name, t2, true
+			}
+		}
+		if !declared {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", n, name)
+		}
+		if typ == "histogram" && fam != name {
+			parts := histParts[fam]
+			switch strings.TrimPrefix(name, fam) {
+			case "_bucket":
+				parts[0] = true
+			case "_sum":
+				parts[1] = true
+			case "_count":
+				parts[2] = true
+			}
+			histParts[fam] = parts
+		}
+		sampled[fam] = true
+
+		value := rest
+		if strings.HasPrefix(rest, "{") {
+			value, err = parseLabels(rest, typ == "histogram")
+			if err != nil {
+				return fmt.Errorf("line %d: %v", n, err)
+			}
+		}
+		value = strings.TrimPrefix(value, " ")
+		fields := strings.Fields(value)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("line %d: want 'value [timestamp]' after name, got %q", n, value)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil && fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return fmt.Errorf("line %d: bad sample value %q", n, fields[0])
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", n, fields[1])
+			}
+		}
+	}
+
+	for fam, typ := range types {
+		if typ == "histogram" && sampled[fam] {
+			p := histParts[fam]
+			if !p[0] || !p[1] || !p[2] {
+				return fmt.Errorf("histogram %s missing _bucket/_sum/_count samples", fam)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleName splits a sample line into metric name and remainder.
+func parseSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("sample line without value: %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// parseLabels consumes a {k="v",...} block, validating names, escapes
+// and (for histograms) that an le label is present; it returns the
+// remainder of the line after the closing brace.
+func parseLabels(s string, histogram bool) (rest string, err error) {
+	s = s[1:] // consume '{'
+	sawLE := false
+	for {
+		if s == "" {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			if histogram && !sawLE {
+				return "", fmt.Errorf("histogram bucket without le label")
+			}
+			return s[1:], nil
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := s[:eq]
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("bad label name %q", lname)
+		}
+		if lname == "le" {
+			sawLE = true
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("label %s value not quoted", lname)
+		}
+		s = s[1:]
+		// scan the quoted value honoring \\ \" \n escapes
+		closed := false
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return "", fmt.Errorf("dangling escape in label %s", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i++
+					continue
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %s", s[i+1], lname)
+				}
+			}
+			if s[i] == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return "", fmt.Errorf("unterminated value for label %s", lname)
+		}
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+// log.go is the structured-logging third of the package: log/slog
+// loggers in the operator-chosen -log-format, plus helpers that stamp
+// trace and span ids onto log records so a slow-request log line can be
+// joined against /debug/traces output.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format,
+// "text" or "json" — the value space of the -log-format flag.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// WithSpan returns l with the span's trace and span ids attached to
+// every record; it returns l unchanged for a nil span, and nil for a
+// nil logger (slog methods on which the callers must not invoke — use
+// LogAttrs-style guards or the nil-safe helpers below).
+func WithSpan(l *slog.Logger, sp *Span) *slog.Logger {
+	if l == nil || sp == nil {
+		return l
+	}
+	return l.With(
+		slog.String("trace", sp.TraceID().String()),
+		slog.String("span", sp.SpanID().String()),
+	)
+}

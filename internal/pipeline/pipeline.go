@@ -120,6 +120,9 @@ type Timing struct {
 	// Retries counts re-run attempts beyond the first (0 for stages that
 	// succeeded or failed on their only attempt).
 	Retries int
+	// Start is when the stage began executing (zero for stages that never
+	// ran); with Duration it places the stage on a trace timeline.
+	Start time.Time
 }
 
 // Cacher is the result-cache surface the scheduler consumes; implemented by
@@ -387,6 +390,7 @@ func RunContext(ctx context.Context, stages []Stage, opts Options) ([]Timing, er
 				start := time.Now()
 				hit, retries, err := execute(ctx, &stages[i], &opts)
 				mu.Lock()
+				timings[i].Start = start
 				timings[i].Duration = time.Since(start)
 				timings[i].Skipped = false
 				timings[i].CacheHit = hit

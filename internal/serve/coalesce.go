@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"elites/internal/obs"
 )
 
 // coalesce.go is the server's single-flight layer: N identical concurrent
@@ -37,6 +39,7 @@ type call struct {
 	out     runOutcome
 	err     error
 	prog    *progress // live per-stage progress, shared with job status
+	traceID string    // the creator request's trace id; joiners link to it
 }
 
 func newFlight() *flight {
@@ -60,7 +63,8 @@ func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *p
 		c, ok := f.calls[key]
 		if !ok {
 			runCtx, cancel := context.WithCancel(context.Background())
-			c = &call{cancel: cancel, done: make(chan struct{}), prog: newProgress()}
+			c = &call{cancel: cancel, done: make(chan struct{}), prog: newProgress(),
+				traceID: obs.TraceIDFromContext(ctx)}
 			f.calls[key] = c
 			go func() {
 				o, e := fn(runCtx, c.prog)
@@ -75,7 +79,19 @@ func (f *flight) Do(ctx context.Context, key string, fn func(context.Context, *p
 			}()
 		}
 		c.waiters++
+		leaderTrace := c.traceID
 		f.mu.Unlock()
+
+		if ok {
+			// Joined another request's run: record the causality on this
+			// request's span as a link to the leader's trace.
+			if sp := obs.SpanFromContext(ctx); sp != nil && leaderTrace != sp.TraceID().String() {
+				if id, idOK := obs.ParseTraceID(leaderTrace); idOK {
+					sp.AddLink(id)
+				}
+				sp.AddEvent("coalesced", "leader_trace", leaderTrace)
+			}
+		}
 
 		select {
 		case <-c.done:

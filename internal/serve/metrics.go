@@ -1,181 +1,131 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"net/http"
+	"strconv"
 	"time"
 
 	"elites/internal/core"
+	"elites/internal/obs"
 )
 
-// metrics.go is a dependency-free Prometheus-text-format exposition of the
-// server's traffic: request counts by route and status, a request latency
-// histogram, pipeline-run accounting (started, coalesced, shed, cancelled)
-// and the stage-result-cache traffic accumulated from each run's
-// Report.Cache — the hit ratio there is the number that tells an operator
-// whether warm traffic is actually being served from cache.
-
-// latencyBuckets are the histogram upper bounds, in seconds.
-var latencyBuckets = []float64{
-	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
-}
-
-// reqKey labels one requests-counter series.
-type reqKey struct {
-	route string
-	code  int
-}
+// metrics.go exposes the server's traffic through the shared
+// obs.Registry: request counts by route and status, a request latency
+// histogram (with trace-id exemplars in the OpenMetrics render),
+// pipeline-run accounting (started, coalesced, shed, cancelled) and the
+// stage-result-cache traffic accumulated from each run's Report.Cache —
+// the hit ratio there is the number that tells an operator whether warm
+// traffic is actually being served from cache. Every metric name and
+// the classic text render are unchanged from the pre-registry emitter.
 
 type metrics struct {
-	mu       sync.Mutex
-	started  time.Time
-	requests map[reqKey]uint64
+	reg *obs.Registry
 
-	latCounts []uint64 // len(latencyBuckets)+1; last slot is +Inf
-	latSum    float64
-	latCount  uint64
+	requests *obs.CounterVec
+	latency  *obs.Histogram
 
-	runs          uint64 // pipeline runs actually started
-	coalesced     uint64 // requests served by piggybacking on another's run
-	shed          uint64 // requests rejected 429 by admission
-	cancelled     uint64 // runs abandoned via context
-	jobsQueued    uint64 // 202 responses handed out
-	bodyHits      uint64 // requests served straight from the encoded-body memo
-	shardHits     uint64 // feature requests answered from precomputed shards
-	degraded      uint64 // degraded (partial-report) responses served
-	drainRejected uint64 // pipeline work refused 503 while draining
-
-	cacheHits   uint64 // stage-level, summed from Report.Cache
-	cacheMisses uint64
+	runs          *obs.Counter // pipeline runs actually started
+	coalesced     *obs.Counter // requests served by piggybacking on another's run
+	shed          *obs.Counter // requests rejected 429 by admission
+	cancelled     *obs.Counter // runs abandoned via context
+	jobsQueued    *obs.Counter // 202 responses handed out
+	bodyHits      *obs.Counter // requests served straight from the encoded-body memo
+	degraded      *obs.Counter // degraded (partial-report) responses served
+	drainRejected *obs.Counter // pipeline work refused 503 while draining
+	shardHits     *obs.Counter // feature requests answered from precomputed shards
+	cacheHits     *obs.Counter // stage-level, summed from Report.Cache
+	cacheMisses   *obs.Counter
 }
 
 func newMetrics(now time.Time) *metrics {
-	return &metrics{
-		started:   now,
-		requests:  map[reqKey]uint64{},
-		latCounts: make([]uint64, len(latencyBuckets)+1),
-	}
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	reg.GaugeFunc("eliteserve_uptime_seconds", "Time since the server started.", 3,
+		func() float64 { return time.Since(now).Seconds() })
+	m.requests = reg.CounterVec("eliteserve_requests_total",
+		"HTTP requests by route and status code.", "route", "code")
+	m.latency = reg.Histogram("eliteserve_request_duration_seconds",
+		"HTTP request latency.", obs.DefaultLatencyBuckets)
+
+	m.runs = reg.Counter("eliteserve_runs_total", "Characterization pipeline runs started.")
+	m.coalesced = reg.Counter("eliteserve_coalesced_requests_total", "Requests served by joining another request's in-flight run.")
+	m.shed = reg.Counter("eliteserve_shed_requests_total", "Requests rejected with 429 by the admission queue.")
+	m.cancelled = reg.Counter("eliteserve_cancelled_runs_total", "Runs cancelled because every waiter abandoned.")
+	m.jobsQueued = reg.Counter("eliteserve_jobs_queued_total", "Async job (202) responses issued.")
+	m.bodyHits = reg.Counter("eliteserve_body_cache_hits_total", "Requests served straight from the encoded-body memo, no pipeline run.")
+	m.degraded = reg.Counter("eliteserve_degraded_total", "Degraded (partial-report) responses served after stage failures.")
+	m.drainRejected = reg.Counter("eliteserve_draining_rejected_total", "Pipeline work refused with 503 while the server was draining.")
+	m.shardHits = reg.Counter("eliteserve_feature_shard_hits_total", "Per-user feature requests served from precomputed shards, no pipeline run.")
+	m.cacheHits = reg.Counter("eliteserve_stage_cache_hits_total", "Pipeline stages hydrated from the result cache.")
+	m.cacheMisses = reg.Counter("eliteserve_stage_cache_misses_total", "Cache-eligible pipeline stages that had to compute.")
+
+	reg.GaugeFunc("eliteserve_stage_cache_hit_ratio", "Stage-result-cache hit ratio since start.", 4,
+		func() float64 {
+			hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+			if t := hits + misses; t > 0 {
+				return float64(hits) / float64(t)
+			}
+			return 0
+		})
+	return m
 }
 
-func (m *metrics) observeRequest(route string, code int, d time.Duration) {
-	sec := d.Seconds()
-	m.mu.Lock()
-	m.requests[reqKey{route, code}]++
-	i := sort.SearchFloat64s(latencyBuckets, sec)
-	m.latCounts[i]++
-	m.latSum += sec
-	m.latCount++
-	m.mu.Unlock()
+// observeRequest records one finished request; traceID, when non-empty,
+// becomes the latency bucket's exemplar.
+func (m *metrics) observeRequest(route string, code int, d time.Duration, traceID string) {
+	m.requests.Inc(route, itoa3(code))
+	m.latency.ObserveExemplar(d.Seconds(), traceID)
 }
 
-func (m *metrics) runStarted() {
-	m.mu.Lock()
-	m.runs++
-	m.mu.Unlock()
-}
+func (m *metrics) runStarted() { m.runs.Inc() }
 
 func (m *metrics) runFinished(cr *core.CacheReport, cancelled bool) {
-	m.mu.Lock()
 	if cancelled {
-		m.cancelled++
+		m.cancelled.Inc()
 	}
 	if cr != nil {
-		m.cacheHits += uint64(len(cr.Hits))
-		m.cacheMisses += uint64(len(cr.Misses))
+		m.cacheHits.Add(uint64(len(cr.Hits)))
+		m.cacheMisses.Add(uint64(len(cr.Misses)))
 	}
-	m.mu.Unlock()
 }
 
-func (m *metrics) addCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
-func (m *metrics) addShed()      { m.mu.Lock(); m.shed++; m.mu.Unlock() }
-func (m *metrics) addJobQueued() { m.mu.Lock(); m.jobsQueued++; m.mu.Unlock() }
-func (m *metrics) addBodyHit()   { m.mu.Lock(); m.bodyHits++; m.mu.Unlock() }
+func (m *metrics) addCoalesced() { m.coalesced.Inc() }
+func (m *metrics) addShed()      { m.shed.Inc() }
+func (m *metrics) addJobQueued() { m.jobsQueued.Inc() }
+func (m *metrics) addBodyHit()   { m.bodyHits.Inc() }
 
-func (m *metrics) addFeatureShardHit() { m.mu.Lock(); m.shardHits++; m.mu.Unlock() }
-func (m *metrics) addDegraded()        { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
-func (m *metrics) addDrainRejected()   { m.mu.Lock(); m.drainRejected++; m.mu.Unlock() }
+func (m *metrics) addFeatureShardHit() { m.shardHits.Inc() }
+func (m *metrics) addDegraded()        { m.degraded.Inc() }
+func (m *metrics) addDrainRejected()   { m.drainRejected.Inc() }
 
 // degradedTotal is the degraded-response count, for tests.
-func (m *metrics) degradedTotal() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.degraded
-}
+func (m *metrics) degradedTotal() uint64 { return m.degraded.Value() }
 
-// snapshot values used by tests.
+// counters snapshots values used by tests.
 func (m *metrics) counters() (runs, coalesced, shed uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.runs, m.coalesced, m.shed
+	return m.runs.Value(), m.coalesced.Value(), m.shed.Value()
 }
 
 // featureShardHits is the shard-served feature request count, for tests.
-func (m *metrics) featureShardHits() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shardHits
+func (m *metrics) featureShardHits() uint64 { return m.shardHits.Value() }
+
+// write renders the exposition in the requested flavor.
+func (m *metrics) write(w io.Writer, om bool) { m.reg.Write(w, om) }
+
+// serveExposition renders /metrics with Accept-negotiated flavor:
+// classic 0.0.4 by default, OpenMetrics with exemplars on request.
+func (m *metrics) serveExposition(w http.ResponseWriter, r *http.Request) {
+	ct, om := obs.NegotiateExposition(r.Header)
+	w.Header().Set("Content-Type", ct)
+	m.write(w, om)
 }
 
-// write renders the exposition. Metric names follow Prometheus
-// conventions; everything is a counter or gauge plus one histogram.
-func (m *metrics) write(w io.Writer, now time.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP eliteserve_uptime_seconds Time since the server started.\n")
-	fmt.Fprintf(w, "# TYPE eliteserve_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "eliteserve_uptime_seconds %.3f\n", now.Sub(m.started).Seconds())
-
-	fmt.Fprintf(w, "# HELP eliteserve_requests_total HTTP requests by route and status code.\n")
-	fmt.Fprintf(w, "# TYPE eliteserve_requests_total counter\n")
-	keys := make([]reqKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
+// itoa3 formats an HTTP status code without fmt in the request path.
+func itoa3(code int) string {
+	if code >= 100 && code < 1000 {
+		return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].route != keys[j].route {
-			return keys[i].route < keys[j].route
-		}
-		return keys[i].code < keys[j].code
-	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "eliteserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
-	}
-
-	fmt.Fprintf(w, "# HELP eliteserve_request_duration_seconds HTTP request latency.\n")
-	fmt.Fprintf(w, "# TYPE eliteserve_request_duration_seconds histogram\n")
-	cum := uint64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.latCounts[i]
-		fmt.Fprintf(w, "eliteserve_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
-	}
-	cum += m.latCounts[len(latencyBuckets)]
-	fmt.Fprintf(w, "eliteserve_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "eliteserve_request_duration_seconds_sum %.6f\n", m.latSum)
-	fmt.Fprintf(w, "eliteserve_request_duration_seconds_count %d\n", m.latCount)
-
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("eliteserve_runs_total", "Characterization pipeline runs started.", m.runs)
-	counter("eliteserve_coalesced_requests_total", "Requests served by joining another request's in-flight run.", m.coalesced)
-	counter("eliteserve_shed_requests_total", "Requests rejected with 429 by the admission queue.", m.shed)
-	counter("eliteserve_cancelled_runs_total", "Runs cancelled because every waiter abandoned.", m.cancelled)
-	counter("eliteserve_jobs_queued_total", "Async job (202) responses issued.", m.jobsQueued)
-	counter("eliteserve_body_cache_hits_total", "Requests served straight from the encoded-body memo, no pipeline run.", m.bodyHits)
-	counter("eliteserve_degraded_total", "Degraded (partial-report) responses served after stage failures.", m.degraded)
-	counter("eliteserve_draining_rejected_total", "Pipeline work refused with 503 while the server was draining.", m.drainRejected)
-	counter("eliteserve_feature_shard_hits_total", "Per-user feature requests served from precomputed shards, no pipeline run.", m.shardHits)
-	counter("eliteserve_stage_cache_hits_total", "Pipeline stages hydrated from the result cache.", m.cacheHits)
-	counter("eliteserve_stage_cache_misses_total", "Cache-eligible pipeline stages that had to compute.", m.cacheMisses)
-
-	ratio := 0.0
-	if t := m.cacheHits + m.cacheMisses; t > 0 {
-		ratio = float64(m.cacheHits) / float64(t)
-	}
-	fmt.Fprintf(w, "# HELP eliteserve_stage_cache_hit_ratio Stage-result-cache hit ratio since start.\n")
-	fmt.Fprintf(w, "# TYPE eliteserve_stage_cache_hit_ratio gauge\n")
-	fmt.Fprintf(w, "eliteserve_stage_cache_hit_ratio %.4f\n", ratio)
+	return strconv.Itoa(code)
 }

@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -53,6 +54,7 @@ import (
 	"elites/internal/features"
 	"elites/internal/gen"
 	"elites/internal/mathx"
+	"elites/internal/obs"
 	"elites/internal/store"
 	"elites/internal/timeseries"
 	"elites/internal/twitter"
@@ -85,6 +87,17 @@ type Config struct {
 	// identity — datasets are immutable and options fixed — so the memo
 	// needs no invalidation and makes warm traffic O(memory read).
 	BodyCacheBytes int64
+	// Tracer, when non-nil, records a span tree per request (continuing
+	// any incoming traceparent) and serves it at GET /debug/traces.
+	// Tracing never touches cache keys or response bytes.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured record per request
+	// with trace/span ids attached.
+	Logger *slog.Logger
+	// SlowRequest, when > 0 and Logger and Tracer are set, is the
+	// flight-recorder threshold: requests at least this slow log their
+	// full span tree.
+	SlowRequest time.Duration
 }
 
 // dataset is one registered dataset plus its memoized identity and
@@ -192,6 +205,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/datasets/{id}/users:batch", "users_batch", s.handleUsersBatch)
 	s.route("GET /v1/jobs/{id}", "job", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", "job_result", s.handleJobResult)
+	s.route("GET /debug/traces", "debug_traces", s.handleDebugTraces)
 	return s
 }
 
@@ -358,19 +372,46 @@ func (rec *recorder) Write(b []byte) (int, error) {
 	return rec.ResponseWriter.Write(b)
 }
 
-// route mounts a handler with metrics instrumentation under a stable route
-// label (patterns with wildcards would explode series cardinality).
+// route mounts a handler with metrics, tracing and logging
+// instrumentation under a stable route label (patterns with wildcards
+// would explode series cardinality). The span continues any incoming
+// traceparent, so a request proxied by eliterouter shares the router's
+// trace id; its id becomes the latency histogram's exemplar.
 func (s *Server) route(pattern, label string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &recorder{ResponseWriter: w}
+		sp := s.cfg.Tracer.StartFromHeader(r.Header, "serve."+label)
+		if sp != nil {
+			sp.SetAttr("route", label)
+			sp.SetAttr("path", r.URL.Path)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
 		h(rec, r)
 		code := rec.status
 		if code == 0 {
 			// Nothing written: the client went away mid-request.
 			code = 499
 		}
-		s.met.observeRequest(label, code, time.Since(start))
+		dur := time.Since(start)
+		traceID := ""
+		if sp != nil {
+			traceID = sp.TraceID().String()
+			sp.SetAttrInt("status", code)
+			sp.End()
+		}
+		s.met.observeRequest(label, code, dur, traceID)
+		if lg := s.cfg.Logger; lg != nil {
+			l := obs.WithSpan(lg, sp)
+			l.Info("request",
+				"route", label, "method", r.Method, "path", r.URL.Path,
+				"status", code, "dur_ms", float64(dur.Microseconds())/1000)
+			if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest && sp != nil {
+				l.Warn("slow request",
+					"threshold", s.cfg.SlowRequest.String(),
+					"span_tree", "\n"+obs.RenderTree(s.cfg.Tracer.TraceSpans(traceID)))
+			}
+		}
 	})
 }
 
@@ -489,12 +530,16 @@ func (s *Server) runBattery(ctx context.Context, d *dataset, stages []string, pr
 		s.met.addDrainRejected()
 		return nil, ErrDraining
 	}
+	adm := obs.SpanFromContext(ctx).Child("admit")
 	if err := s.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrBusy) {
 			s.met.addShed()
+			adm.AddEvent("shed")
 		}
+		adm.End()
 		return nil, err
 	}
+	adm.End()
 	defer s.admit.release()
 
 	opts := s.cfg.Options
@@ -657,8 +702,13 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, time.Now())
+	s.met.serveExposition(w, r)
+}
+
+// handleDebugTraces serves the tracer's ring buffer (404 when tracing
+// is disabled). See obs.(*Tracer).ServeTraces for the query parameters.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Tracer.ServeTraces(w, r)
 }
 
 // datasetInfo is the JSON row for dataset listings.
@@ -718,14 +768,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := s.reportKey(d, stages, format)
+	reqSpan := obs.SpanFromContext(r.Context())
 	if body, ok := s.bodies.get(key); ok {
 		s.met.addBodyHit()
+		reqSpan.SetAttr("body_cache", "hit")
 		w.Header().Set("Content-Type", contentType(format))
 		w.Write(body)
 		return
 	}
+	reqSpan.SetAttr("body_cache", "miss")
 	run := func(ctx context.Context, prog *progress) (runOutcome, error) {
-		return s.buildReport(ctx, d, stages, format, prog)
+		// The coalescer hands fn a detached context; re-attach the leader
+		// request's span so the pipeline spans land in its trace.
+		return s.buildReport(obs.ContextWithSpan(ctx, reqSpan), d, stages, format, prog)
 	}
 
 	if s.cfg.AsyncAfter > 0 && r.Method == http.MethodPost {
@@ -815,14 +870,17 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 	// The requested stage is part of the identity: the body names it, even
 	// when two stages would share a run subset.
 	key := s.reportKey(d, runStages, "stage:"+stage)
+	reqSpan := obs.SpanFromContext(r.Context())
 	if body, ok := s.bodies.get(key); ok {
 		s.met.addBodyHit()
+		reqSpan.SetAttr("body_cache", "hit")
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 		return
 	}
+	reqSpan.SetAttr("body_cache", "miss")
 	out, joined, err := s.flight.Do(r.Context(), key, func(ctx context.Context, prog *progress) (runOutcome, error) {
-		rep, rerr := s.runBattery(ctx, d, runStages, prog)
+		rep, rerr := s.runBattery(obs.ContextWithSpan(ctx, reqSpan), d, runStages, prog)
 		if rerr != nil && !degradable(ctx, rep, rerr) {
 			return runOutcome{}, rerr
 		}

@@ -430,9 +430,7 @@ func TestHTTPCoalescing(t *testing.T) {
 		}
 	}
 	runs, coalesced, shed := s.met.counters()
-	s.met.mu.Lock()
-	bodyHits := s.met.bodyHits
-	s.met.mu.Unlock()
+	bodyHits := s.met.bodyHits.Value()
 	if shed != 0 {
 		t.Fatalf("admission shed %d coalescible requests", shed)
 	}
@@ -715,10 +713,7 @@ func TestWarmRequestServedFromBodyMemo(t *testing.T) {
 	if runsAfter != runsBefore {
 		t.Fatalf("warm request started a pipeline run (%d → %d)", runsBefore, runsAfter)
 	}
-	s.met.mu.Lock()
-	hits := s.met.bodyHits
-	s.met.mu.Unlock()
-	if hits == 0 {
+	if hits := s.met.bodyHits.Value(); hits == 0 {
 		t.Fatal("warm request not counted as a body-memo hit")
 	}
 }

@@ -109,6 +109,14 @@ if [ "$MODE" = fleet ]; then
   echo "worker_up: dead worker ejected, survivor carrying the fleet"
   echo "$METRICS" | grep -E 'eliterouter_(retries|failovers)_total [1-9]' >/dev/null
   echo "failover counters engaged"
+
+  # The degradation ladder must also be visible as span events: the
+  # injected drops + the kill force retries and trip worker 1's breaker,
+  # and /debug/traces tells that story per request.
+  TRACES=$(curl -sf "http://127.0.0.1:$PORT/debug/traces")
+  echo "$TRACES" | grep -q '"retry"'
+  echo "$TRACES" | grep -q '"breaker.open"'
+  echo "span events: retry + breaker.open visible in /debug/traces"
   echo "fleet rehearsal: OK"
   exit 0
 fi
@@ -128,6 +136,11 @@ grep -q 'DEGRADED REPORT' "$TMP/degraded.out"
 grep -qi '^Warning: 199' "$TMP/headers"
 curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q 'eliteserve_degraded_total 1'
 echo "degraded response: banner + Warning header + metric OK"
+
+# The injected stage fault must be visible as a span event on the
+# degree stage's span in the worker's trace buffer.
+curl -sf "http://127.0.0.1:$PORT/debug/traces" | grep -q '"fault.injected"'
+echo "span events: fault.injected visible in /debug/traces"
 
 curl -sf "http://127.0.0.1:$PORT/v1/datasets/demo/report?format=text" -o "$TMP/clean.out"
 "$TMP/eliteanalyze" -data "$TMP/ds" >"$TMP/analyze.out"

@@ -1,0 +1,121 @@
+#!/bin/sh
+# traceview.sh — pretty-print a -trace-out JSONL span file as indented
+# duration trees, one per trace (the same shape slow-request log dumps
+# and obs.RenderTree produce):
+#
+#   trace 4bf92f3577b34da6a3ce929d0e0e4736
+#     router.request 12.4ms status=200
+#       router.attempt 3.1ms worker=127.0.0.1:9001 [retry]
+#       serve.report 8.9ms
+#         pipeline 8.2ms
+#           stage.degree 0.4ms cache_hit=true
+#
+# Usage:
+#   sh scripts/traceview.sh trace.jsonl            # all traces
+#   sh scripts/traceview.sh trace.jsonl <traceid>  # one trace
+#
+# Pure POSIX sh + awk over the flat JSON lines obs emits (one object per
+# line, known key order not assumed). Events render as [name] suffixes;
+# the service attribute is elided like RenderTree does.
+set -eu
+
+FILE=${1:?usage: traceview.sh trace.jsonl [traceid]}
+WANT=${2:-}
+
+awk -v want="$WANT" '
+function jstr(line, key,   re, v) {
+  # Extract a top-level string value: "key":"value" (values never
+  # contain escaped quotes in obs output: ids and names are hex/idents).
+  re = "\"" key "\":\"[^\"]*\""
+  if (match(line, re) == 0) return ""
+  v = substr(line, RSTART, RLENGTH)
+  sub("^\"" key "\":\"", "", v); sub("\"$", "", v)
+  return v
+}
+function jnum(line, key,   re, v) {
+  re = "\"" key "\":-?[0-9]+"
+  if (match(line, re) == 0) return 0
+  v = substr(line, RSTART, RLENGTH)
+  sub("^\"" key "\":", "", v)
+  return v + 0
+}
+function attrs_of(line,   re, blk, out, k, v) {
+  # The span attrs object: "attrs":{"k":"v",...} — first {...} after key.
+  re = "\"attrs\":\\{[^}]*\\}"
+  if (match(line, re) == 0) return ""
+  blk = substr(line, RSTART, RLENGTH)
+  sub("^\"attrs\":\\{", "", blk); sub("\\}$", "", blk)
+  out = ""
+  while (match(blk, /"[^"]+":"[^"]*"/) > 0) {
+    kv = substr(blk, RSTART, RLENGTH)
+    blk = substr(blk, RSTART + RLENGTH)
+    k = kv; sub(/^"/, "", k); sub(/":".*$/, "", k)
+    v = kv; sub(/^"[^"]+":"/, "", v); sub(/"$/, "", v)
+    if (k != "service") out = out " " k "=" v
+  }
+  return out
+}
+function events_of(line,   rest, out, name) {
+  # Event names: every "name":"..." after the events key.
+  if (match(line, /"events":\[/) == 0) return ""
+  rest = substr(line, RSTART)
+  out = ""
+  while (match(rest, /"name":"[^"]*"/) > 0) {
+    name = substr(rest, RSTART, RLENGTH)
+    rest = substr(rest, RSTART + RLENGTH)
+    sub(/^"name":"/, "", name); sub(/"$/, "", name)
+    out = out " [" name "]"
+  }
+  return out
+}
+function fmtdur(us) {
+  if (us >= 1000000) return sprintf("%.2fs", us / 1000000)
+  if (us >= 1000)    return sprintf("%.1fms", us / 1000)
+  return us "us"
+}
+function walk(span, depth,   i, n, kids, pad) {
+  pad = ""
+  for (i = 0; i < depth; i++) pad = pad "  "
+  printf "%s%s %s%s%s\n", pad, name[span], fmtdur(dur[span]), attr[span], evs[span]
+  n = split(childof[span], kids, SUBSEP)
+  for (i = 1; i <= n; i++) if (kids[i] != "") walk(kids[i], depth + 1)
+}
+{
+  # The span attrs block can contain "name":"...": cut events out first
+  # when extracting span fields, by using the earliest matches — span
+  # name/ids precede attrs/events in obs output, but do not rely on it:
+  # take the trace/span/parent via dedicated keys (unique at top level).
+  tr = jstr($0, "trace"); sp = jstr($0, "span")
+  if (tr == "" || sp == "") next
+  if (want != "" && tr != want) next
+  nm = jstr($0, "name")        # first "name" key is the span name
+  seen[++count] = sp
+  trace[sp] = tr; name[sp] = nm; parent[sp] = jstr($0, "parent")
+  start[sp] = jnum($0, "start_us"); dur[sp] = jnum($0, "dur_us")
+  attr[sp] = attrs_of($0); evs[sp] = events_of($0)
+  if (!(tr in torder)) { torder[tr] = ++ntr; tlist[ntr] = tr }
+}
+END {
+  for (t = 1; t <= ntr; t++) {
+    tr = tlist[t]
+    printf "trace %s\n", tr
+    # Children lists in input (≈ start) order; roots are spans whose
+    # parent is absent from the file.
+    for (i = 1; i <= count; i++) {
+      sp = seen[i]
+      if (trace[sp] != tr) continue
+      p = parent[sp]
+      if (p != "" && (p in name) && trace[p] == tr)
+        childof[p] = (childof[p] == "" ? sp : childof[p] SUBSEP sp)
+    }
+    for (i = 1; i <= count; i++) {
+      sp = seen[i]
+      if (trace[sp] != tr) continue
+      p = parent[sp]
+      if (p == "" || !(p in name) || trace[p] != tr) walk(sp, 1)
+    }
+    for (sp in childof) delete childof[sp]
+  }
+  if (count == 0) print "no spans" (want == "" ? "" : " for trace " want)
+}
+' "$FILE"
